@@ -1,0 +1,78 @@
+//! One Criterion benchmark per paper exhibit: measures how long each
+//! figure/table regeneration takes at a reduced scale (wall-clock cost of
+//! the reproduction pipeline itself, one bench per table/figure family).
+//!
+//! The *results* of each exhibit are produced by the `harness` binary
+//! (`cargo run -p harness --release -- <exp>`); these benches track the
+//! cost of regenerating them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdiff::GDiffPredictor;
+use pipeline::{HgvqEngine, NoVp, PipelineConfig, Simulator};
+use predictors::{Capacity, DfcmPredictor, StridePredictor, ValuePredictor};
+use workloads::Benchmark;
+
+const N: usize = 30_000;
+
+fn profile_step(bench: Benchmark, p: &mut dyn ValuePredictor) -> u64 {
+    let mut hits = 0;
+    for i in bench.build(42).filter(|i| i.produces_value()).take(N) {
+        if p.step(i.pc, i.value) == Some(true) {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+fn bench_exhibits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exhibit_regeneration");
+    g.sample_size(10);
+
+    // Figure 8 family: profile accuracy of the three predictors.
+    g.bench_function("fig8_stride_cell", |b| {
+        b.iter(|| profile_step(Benchmark::Parser, &mut StridePredictor::new(Capacity::Unbounded)))
+    });
+    g.bench_function("fig8_dfcm_cell", |b| {
+        b.iter(|| profile_step(Benchmark::Parser, &mut DfcmPredictor::new(Capacity::Unbounded, 4, 16)))
+    });
+    g.bench_function("fig8_gdiff_cell", |b| {
+        b.iter(|| profile_step(Benchmark::Parser, &mut GDiffPredictor::new(Capacity::Unbounded, 8)))
+    });
+
+    // Figure 9 family: bounded-table profile run.
+    g.bench_function("fig9_8k_table_cell", |b| {
+        b.iter(|| profile_step(Benchmark::Gcc, &mut GDiffPredictor::new(Capacity::Entries(8192), 8)))
+    });
+
+    // Figure 10 family: delayed profile run.
+    g.bench_function("fig10_delay16_cell", |b| {
+        b.iter(|| {
+            profile_step(
+                Benchmark::Twolf,
+                &mut GDiffPredictor::with_delay(Capacity::Unbounded, 8, 16),
+            )
+        })
+    });
+
+    // Table 2 / Figures 12, 13, 16, 19 family: one pipeline run per cell.
+    g.bench_function("table2_baseline_cell", |b| {
+        b.iter(|| {
+            Simulator::new(PipelineConfig::r10k(), Box::new(NoVp))
+                .run(Benchmark::Gzip.build(42).take(N * 2), 3_000, N as u64)
+                .ipc()
+        })
+    });
+    g.bench_function("fig16_hgvq_cell", |b| {
+        b.iter(|| {
+            Simulator::new(PipelineConfig::r10k(), Box::new(HgvqEngine::paper_default()))
+                .run(Benchmark::Gzip.build(42).take(N * 2), 3_000, N as u64)
+                .vp
+                .coverage()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_exhibits);
+criterion_main!(benches);

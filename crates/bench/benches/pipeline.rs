@@ -1,0 +1,38 @@
+//! Simulator throughput: simulated instructions per second per benchmark
+//! and per value-prediction engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pipeline::{HgvqEngine, LocalEngine, NoVp, PipelineConfig, SgvqEngine, Simulator, VpEngine};
+use workloads::Benchmark;
+
+const INSTS: u64 = 50_000;
+
+fn run(bench: Benchmark, engine: Box<dyn VpEngine>) -> f64 {
+    Simulator::new(PipelineConfig::r10k(), engine)
+        .run(bench.build(42).take(INSTS as usize * 2), 5_000, INSTS)
+        .ipc()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.throughput(Throughput::Elements(INSTS));
+    g.sample_size(10);
+    for bench in [Benchmark::Gzip, Benchmark::Mcf] {
+        g.bench_with_input(BenchmarkId::new("no_vp", bench.name()), &bench, |b, &bench| {
+            b.iter(|| run(bench, Box::new(NoVp)))
+        });
+        g.bench_with_input(BenchmarkId::new("local_stride", bench.name()), &bench, |b, &bench| {
+            b.iter(|| run(bench, Box::new(LocalEngine::stride_8k())))
+        });
+        g.bench_with_input(BenchmarkId::new("gdiff_sgvq", bench.name()), &bench, |b, &bench| {
+            b.iter(|| run(bench, Box::new(SgvqEngine::paper_default())))
+        });
+        g.bench_with_input(BenchmarkId::new("gdiff_hgvq", bench.name()), &bench, |b, &bench| {
+            b.iter(|| run(bench, Box::new(HgvqEngine::paper_default())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Throughput of every value predictor: one synchronous predict+update
+//! step over a realistic mixed value stream.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gdiff::GDiffPredictor;
+use predictors::{
+    Capacity, DfcmPredictor, FcmPredictor, HybridPredictor, LastNValuePredictor,
+    LastValuePredictor, MarkovPredictor, MarkovConfig, PiPredictor, StridePredictor,
+    ValuePredictor,
+};
+use workloads::Benchmark;
+
+fn stream(n: usize) -> Vec<(u64, u64)> {
+    Benchmark::Gcc
+        .build(42)
+        .filter(|i| i.produces_value())
+        .take(n)
+        .map(|i| (i.pc, i.value))
+        .collect()
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let values = stream(10_000);
+    let mut g = c.benchmark_group("predictor_step");
+    g.throughput(Throughput::Elements(values.len() as u64));
+
+    let mut cases: Vec<(&str, Box<dyn ValuePredictor>)> = vec![
+        ("last_value", Box::new(LastValuePredictor::new(Capacity::Entries(8192)))),
+        ("last_4_value", Box::new(LastNValuePredictor::new(Capacity::Entries(8192), 4))),
+        ("stride_2delta", Box::new(StridePredictor::new(Capacity::Entries(8192)))),
+        ("fcm_o4", Box::new(FcmPredictor::new(Capacity::Entries(8192), 4, 16))),
+        ("dfcm_o4", Box::new(DfcmPredictor::new(Capacity::Entries(8192), 4, 16))),
+        ("pi_global", Box::new(PiPredictor::new(Capacity::Entries(8192)))),
+        ("markov_64k", Box::new(MarkovPredictor::new(MarkovConfig { entries: 64 * 1024, ways: 4 }))),
+        (
+            "hybrid_stride_dfcm",
+            Box::new(HybridPredictor::new(
+                StridePredictor::new(Capacity::Entries(8192)),
+                DfcmPredictor::new(Capacity::Entries(8192), 4, 16),
+                Capacity::Entries(8192),
+            )),
+        ),
+        ("gdiff_q8", Box::new(GDiffPredictor::new(Capacity::Entries(8192), 8))),
+        ("gdiff_q32", Box::new(GDiffPredictor::new(Capacity::Entries(8192), 32))),
+    ];
+
+    for (name, p) in cases.iter_mut() {
+        g.bench_with_input(BenchmarkId::from_parameter(*name), &values, |b, values| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for &(pc, v) in values {
+                    if p.step(black_box(pc), black_box(v)) == Some(true) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

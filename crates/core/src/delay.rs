@@ -1,0 +1,149 @@
+//! A value-delay wrapper for *local* predictors.
+
+use std::collections::VecDeque;
+
+use predictors::ValuePredictor;
+
+/// Delays a local predictor's training by `T` produced values.
+///
+/// Local predictors suffer value delay too: in a tight loop an instruction
+/// is re-dispatched before its previous instance has written back, so the
+/// predictor's tables lag (the paper notes this for Figure 16, where local
+/// stride and local context predictors are "updated at write-back stage").
+/// `DelayedPredictor` models that lag for any [`ValuePredictor`] by holding
+/// each update in a FIFO until `T` further values have been produced.
+///
+/// For gDiff the delay must be applied to the *queue view*, not the table
+/// training — use [`GDiffPredictor::with_delay`](crate::GDiffPredictor::with_delay)
+/// instead, which keeps learned distances consistent.
+///
+/// # Examples
+///
+/// ```
+/// use gdiff::DelayedPredictor;
+/// use predictors::{Capacity, LastValuePredictor, ValuePredictor};
+///
+/// let mut p = DelayedPredictor::new(LastValuePredictor::new(Capacity::Unbounded), 2);
+/// p.update(0x10, 42);
+/// assert_eq!(p.predict(0x10), None); // still in flight
+/// p.update(0x20, 1);
+/// p.update(0x20, 2); // 0x10's update drains now
+/// assert_eq!(p.predict(0x10), Some(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayedPredictor<P> {
+    inner: P,
+    pending: VecDeque<(u64, u64)>,
+    delay: usize,
+}
+
+impl<P: ValuePredictor> DelayedPredictor<P> {
+    /// Wraps `inner` with a value delay of `delay` values (`0` = no delay).
+    pub fn new(inner: P, delay: usize) -> Self {
+        DelayedPredictor { inner, pending: VecDeque::with_capacity(delay + 1), delay }
+    }
+
+    /// The configured delay `T`.
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+
+    /// Number of updates still in flight.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Read access to the wrapped predictor.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Drains all in-flight updates into the inner predictor (end of a
+    /// measurement run).
+    pub fn flush(&mut self) {
+        while let Some((pc, v)) = self.pending.pop_front() {
+            self.inner.update(pc, v);
+        }
+    }
+}
+
+impl<P: ValuePredictor> ValuePredictor for DelayedPredictor<P> {
+    fn predict(&mut self, pc: u64) -> Option<u64> {
+        self.inner.predict(pc)
+    }
+
+    fn update(&mut self, pc: u64, actual: u64) {
+        self.pending.push_back((pc, actual));
+        while self.pending.len() > self.delay {
+            let (pc, v) = self.pending.pop_front().expect("len checked");
+            self.inner.update(pc, v);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "delayed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predictors::{Capacity, LastValuePredictor, StridePredictor};
+
+    #[test]
+    fn zero_delay_is_transparent() {
+        let mut d = DelayedPredictor::new(LastValuePredictor::new(Capacity::Unbounded), 0);
+        d.update(0, 5);
+        assert_eq!(d.predict(0), Some(5));
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn updates_drain_in_order_after_t_values() {
+        let mut d = DelayedPredictor::new(LastValuePredictor::new(Capacity::Unbounded), 2);
+        d.update(0, 1);
+        d.update(0, 2);
+        assert_eq!(d.predict(0), None, "both updates still in flight");
+        d.update(4, 9);
+        assert_eq!(d.predict(0), Some(1), "oldest update drained first");
+        d.update(4, 9);
+        assert_eq!(d.predict(0), Some(2));
+    }
+
+    #[test]
+    fn flush_applies_everything() {
+        let mut d = DelayedPredictor::new(LastValuePredictor::new(Capacity::Unbounded), 16);
+        d.update(0, 7);
+        d.flush();
+        assert_eq!(d.pending(), 0);
+        assert_eq!(d.predict(0), Some(7));
+    }
+
+    /// A stride stream in a "tight loop" (the same pc back to back): the
+    /// delayed stride predictor's tables lag, so its prediction is stale by
+    /// T strides — the effect the paper attributes to tight-loop code.
+    #[test]
+    fn tight_loop_stride_predictions_are_stale_by_t() {
+        let mut d = DelayedPredictor::new(StridePredictor::new(Capacity::Unbounded), 3);
+        for v in 0..20u64 {
+            d.update(0, v * 10);
+        }
+        // Inner has seen values up to (20 - 1 - 3) * 10 = 160; it predicts
+        // 170, while the true next value is 200.
+        assert_eq!(d.predict(0), Some(170));
+    }
+
+    /// A loop long enough that the update drains between iterations is
+    /// unaffected by the delay.
+    #[test]
+    fn spaced_iterations_are_unaffected() {
+        let mut d = DelayedPredictor::new(StridePredictor::new(Capacity::Unbounded), 3);
+        for v in 0..10u64 {
+            d.update(0, v * 10);
+            for j in 0..4u64 {
+                d.update(0x100 + j * 4, j); // other instructions drain the FIFO
+            }
+        }
+        assert_eq!(d.predict(0), Some(100));
+    }
+}

@@ -1,0 +1,265 @@
+//! The global value queue (GVQ).
+
+/// Identifies one slot of a [`GlobalValueQueue`] for later patching.
+///
+/// Slot ids are monotonically increasing sequence numbers, so they stay
+/// meaningful even after the ring buffer wraps; a stale id (older than the
+/// queue's window) is simply rejected by [`GlobalValueQueue::patch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(u64);
+
+impl SlotId {
+    /// The raw sequence number (number of values pushed before this slot).
+    pub fn sequence(self) -> u64 {
+        self.0
+    }
+}
+
+/// The global value queue: a fixed-order ring of the most recent values
+/// produced by the dynamic instruction stream.
+///
+/// One structure serves all three of the paper's queue disciplines — what
+/// differs is only *when* and *with what* the pipeline writes it:
+///
+/// * **GVQ** (§3): [`push`](Self::push) committed results in program order;
+/// * **SGVQ** (§4): `push` speculative results in completion order;
+/// * **HGVQ** (§5): [`push_speculative`](Self::push_speculative) a
+///   local-stride prediction at dispatch (or
+///   [`push_empty`](Self::push_empty) when the filler has nothing), then
+///   [`patch`](Self::patch) the slot with the real result at write-back.
+///
+/// Reads are by *distance*: [`back`](Self::back)`(k)` is the value produced
+/// `k` values ago relative to the queue head, and
+/// [`back_from`](Self::back_from)`(slot, k)` is relative to a particular
+/// slot — the form the HGVQ needs, because an instruction's correlation
+/// distances are anchored at its own dispatch position.
+///
+/// # Examples
+///
+/// ```
+/// use gdiff::GlobalValueQueue;
+///
+/// let mut q = GlobalValueQueue::new(4);
+/// q.push(10);
+/// q.push(20);
+/// q.push(30);
+/// assert_eq!(q.back(1), Some(30));
+/// assert_eq!(q.back(3), Some(10));
+/// assert_eq!(q.back(4), None); // beyond what was pushed
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalValueQueue {
+    values: Vec<u64>,
+    valid: Vec<bool>,
+    head: u64,
+}
+
+impl GlobalValueQueue {
+    /// Creates a queue of the given order (capacity in values).
+    ///
+    /// The paper uses order 8 for the profile studies and order 32 for the
+    /// pipelined SGVQ/HGVQ predictors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is zero.
+    pub fn new(order: usize) -> Self {
+        assert!(order > 0, "queue order must be nonzero");
+        GlobalValueQueue { values: vec![0; order], valid: vec![false; order], head: 0 }
+    }
+
+    /// The queue order (capacity).
+    pub fn order(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total number of slots ever claimed.
+    pub fn pushed(&self) -> u64 {
+        self.head
+    }
+
+    /// Appends a definitive value, returning its slot.
+    pub fn push(&mut self, value: u64) -> SlotId {
+        self.push_slot(Some(value))
+    }
+
+    /// Appends a *speculative* value (the HGVQ filler), returning its slot
+    /// for later [`patch`](Self::patch)ing.
+    pub fn push_speculative(&mut self, value: u64) -> SlotId {
+        self.push_slot(Some(value))
+    }
+
+    /// Claims a slot without any value (the filler had no prediction).
+    /// Reads of the slot return `None` until it is patched.
+    pub fn push_empty(&mut self) -> SlotId {
+        self.push_slot(None)
+    }
+
+    fn push_slot(&mut self, value: Option<u64>) -> SlotId {
+        let idx = (self.head % self.values.len() as u64) as usize;
+        match value {
+            Some(v) => {
+                self.values[idx] = v;
+                self.valid[idx] = true;
+            }
+            None => self.valid[idx] = false,
+        }
+        let id = SlotId(self.head);
+        self.head += 1;
+        id
+    }
+
+    /// Replaces the value in `slot` with the real result.
+    ///
+    /// Returns `false` (and does nothing) when the slot has already left
+    /// the queue window — a late write-back in a long-delay pipeline.
+    pub fn patch(&mut self, slot: SlotId, value: u64) -> bool {
+        if !self.contains(slot) {
+            return false;
+        }
+        let idx = (slot.0 % self.values.len() as u64) as usize;
+        self.values[idx] = value;
+        self.valid[idx] = true;
+        true
+    }
+
+    /// Whether `slot` is still inside the queue window.
+    pub fn contains(&self, slot: SlotId) -> bool {
+        slot.0 < self.head && self.head - slot.0 <= self.values.len() as u64
+    }
+
+    /// The value produced `k` values ago (`k = 1` is the most recent).
+    ///
+    /// Returns `None` if `k` is zero, exceeds the order, reaches before the
+    /// first push, or lands on an unpatched empty slot.
+    pub fn back(&self, k: usize) -> Option<u64> {
+        self.value_at_seq(self.head.checked_sub(k as u64)?, k)
+    }
+
+    /// The value `k` slots before `slot` (not counting `slot` itself).
+    ///
+    /// This anchors distances at an instruction's own dispatch position,
+    /// which is how the hybrid queue computes and consumes differences.
+    pub fn back_from(&self, slot: SlotId, k: usize) -> Option<u64> {
+        let seq = slot.0.checked_sub(k as u64)?;
+        // The referenced slot must still be within the window *now*.
+        self.value_at_seq(seq, (self.head - seq) as usize)
+    }
+
+    fn value_at_seq(&self, seq: u64, dist_from_head: usize) -> Option<u64> {
+        if dist_from_head == 0 || dist_from_head > self.values.len() {
+            return None;
+        }
+        let idx = (seq % self.values.len() as u64) as usize;
+        self.valid[idx].then(|| self.values[idx])
+    }
+
+    /// Snapshot of the resident values, most recent first (`None` for
+    /// unpatched speculative slots). Mainly useful for tests and debugging.
+    pub fn snapshot(&self) -> Vec<Option<u64>> {
+        (1..=self.order()).map(|k| self.back(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_distances_are_one_based() {
+        let mut q = GlobalValueQueue::new(3);
+        assert_eq!(q.back(1), None);
+        q.push(5);
+        assert_eq!(q.back(0), None);
+        assert_eq!(q.back(1), Some(5));
+        assert_eq!(q.back(2), None);
+    }
+
+    #[test]
+    fn ring_wraps_and_drops_old_values() {
+        let mut q = GlobalValueQueue::new(2);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.back(1), Some(3));
+        assert_eq!(q.back(2), Some(2));
+        assert_eq!(q.back(3), None, "order exceeded");
+    }
+
+    #[test]
+    fn patch_hits_live_slot() {
+        let mut q = GlobalValueQueue::new(4);
+        let s = q.push_speculative(99);
+        q.push(1);
+        assert!(q.patch(s, 42));
+        assert_eq!(q.back(2), Some(42));
+    }
+
+    #[test]
+    fn patch_rejects_evicted_slot() {
+        let mut q = GlobalValueQueue::new(2);
+        let s = q.push(1);
+        q.push(2);
+        q.push(3); // evicts slot s
+        assert!(!q.patch(s, 42));
+        assert_eq!(q.back(2), Some(2));
+    }
+
+    #[test]
+    fn empty_slots_read_as_none_until_patched() {
+        let mut q = GlobalValueQueue::new(4);
+        let s = q.push_empty();
+        q.push(7);
+        assert_eq!(q.back(2), None);
+        assert!(q.patch(s, 5));
+        assert_eq!(q.back(2), Some(5));
+    }
+
+    #[test]
+    fn back_from_anchors_at_slot() {
+        let mut q = GlobalValueQueue::new(8);
+        q.push(10);
+        q.push(20);
+        let s = q.push(30);
+        q.push(40); // newer than s; must be invisible to back_from(s, _)
+        assert_eq!(q.back_from(s, 1), Some(20));
+        assert_eq!(q.back_from(s, 2), Some(10));
+        assert_eq!(q.back_from(s, 3), None, "before first push");
+    }
+
+    #[test]
+    fn back_from_respects_current_window() {
+        let mut q = GlobalValueQueue::new(2);
+        q.push(10);
+        let s = q.push(20);
+        // Values at distance 1 from s (the 10) are still in the window now.
+        assert_eq!(q.back_from(s, 1), Some(10));
+        q.push(30); // evicts the 10
+        assert_eq!(q.back_from(s, 1), None, "referenced slot left the window");
+    }
+
+    #[test]
+    fn contains_tracks_window() {
+        let mut q = GlobalValueQueue::new(2);
+        let a = q.push(1);
+        assert!(q.contains(a));
+        q.push(2);
+        assert!(q.contains(a));
+        q.push(3);
+        assert!(!q.contains(a));
+    }
+
+    #[test]
+    fn snapshot_lists_recent_first() {
+        let mut q = GlobalValueQueue::new(3);
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.snapshot(), vec![Some(2), Some(1), None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_order_rejected() {
+        let _ = GlobalValueQueue::new(0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The gDiff prediction table and difference-matching logic.
+
+use predictors::{Capacity, PcTable};
+
+/// One prediction-table entry (Figure 5): the `n` differences between the
+/// instruction's last result and the `n` values that finished immediately
+/// before it, plus the *selected distance*.
+#[derive(Debug, Clone, Default)]
+pub struct GDiffEntry {
+    /// `diffs[i]` is the difference at distance `i + 1`.
+    diffs: Vec<i64>,
+    /// Whether `diffs` holds at least one observation.
+    seen: bool,
+    /// The selected distance `k` (1-based), once a repeat has been found.
+    distance: Option<u16>,
+}
+
+impl GDiffEntry {
+    /// The selected distance, if one has been learned.
+    pub fn distance(&self) -> Option<usize> {
+        self.distance.map(usize::from)
+    }
+
+    /// The stored difference at `distance` (1-based), if recorded.
+    pub fn diff(&self, distance: usize) -> Option<i64> {
+        if !self.seen || distance == 0 {
+            return None;
+        }
+        self.diffs.get(distance - 1).copied()
+    }
+}
+
+/// The order-`n` gDiff prediction mechanism (Figure 5), decoupled from any
+/// particular queue.
+///
+/// `GDiffCore` owns only the PC-indexed table; the caller supplies queue
+/// reads as a closure mapping a distance `k` (1-based) to the value at that
+/// distance. This is what lets the same mechanism drive all three queue
+/// disciplines: the profile-mode [`GDiffPredictor`](crate::GDiffPredictor)
+/// reads relative to the queue head, while the
+/// [`HgvqPredictor`](crate::HgvqPredictor) reads relative to the
+/// instruction's own dispatch slot.
+///
+/// # Update policy
+///
+/// On completion the core computes all `n` differences `actual − value(k)`
+/// and compares them with the stored ones (§3):
+///
+/// * a distance whose difference *repeats* becomes the selected distance —
+///   keeping the current selection if it still matches (hysteresis),
+///   otherwise the smallest matching distance;
+/// * the freshly calculated differences are then stored; on no match the
+///   selected distance is left unchanged, per the paper.
+///
+/// Learning therefore takes exactly two productions of an instruction.
+#[derive(Debug, Clone)]
+pub struct GDiffCore {
+    table: PcTable<GDiffEntry>,
+    order: usize,
+}
+
+impl GDiffCore {
+    /// Creates a core of the given table capacity and queue order `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is zero or exceeds `u16::MAX`.
+    pub fn new(capacity: Capacity, order: usize) -> Self {
+        assert!(order > 0, "gdiff order must be nonzero");
+        assert!(order <= u16::MAX as usize, "gdiff order too large");
+        GDiffCore { table: PcTable::new(capacity), order }
+    }
+
+    /// The queue order `n` this core was built for.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Predicts the value of `pc`, reading the queue through `value_at`
+    /// (`value_at(k)` = the value at distance `k`, or `None` when that slot
+    /// is unavailable).
+    pub fn predict_with(
+        &mut self,
+        pc: u64,
+        value_at: impl Fn(usize) -> Option<u64>,
+    ) -> Option<u64> {
+        let e = self.table.entry_shared(pc);
+        let k = e.distance.map(usize::from)?;
+        let diff = *e.diffs.get(k - 1)?;
+        let base = value_at(k)?;
+        Some(base.wrapping_add(diff as u64))
+    }
+
+    /// Trains the table with `pc`'s actual result, reading the queue
+    /// through `value_at` anchored the same way predictions for this
+    /// instruction are anchored.
+    pub fn update_with(
+        &mut self,
+        pc: u64,
+        actual: u64,
+        value_at: impl Fn(usize) -> Option<u64>,
+    ) {
+        let order = self.order;
+        let calc: Vec<Option<i64>> = (1..=order)
+            .map(|k| value_at(k).map(|v| actual.wrapping_sub(v) as i64))
+            .collect();
+        let e = self.table.entry_shared(pc);
+        if e.seen {
+            let matches = |k: usize| -> bool {
+                match (calc.get(k - 1).copied().flatten(), e.diffs.get(k - 1)) {
+                    (Some(c), Some(&s)) => c == s,
+                    _ => false,
+                }
+            };
+            let chosen = match e.distance {
+                Some(k) if matches(usize::from(k)) => Some(usize::from(k)),
+                _ => (1..=order).find(|&k| matches(k)),
+            };
+            if let Some(k) = chosen {
+                e.distance = Some(k as u16);
+            }
+        }
+        // Store the calculated differences (unavailable slots keep their
+        // previous difference so a transiently empty HGVQ slot does not
+        // erase learned state).
+        if e.diffs.len() != order {
+            e.diffs.resize(order, 0);
+        }
+        for (i, c) in calc.iter().enumerate() {
+            if let Some(c) = *c {
+                e.diffs[i] = c;
+            }
+        }
+        e.seen = true;
+    }
+
+    /// The table entry for `pc`, if one exists (read-only; for tests,
+    /// statistics and debugging).
+    pub fn entry(&self, pc: u64) -> Option<&GDiffEntry> {
+        self.table.peek(pc)
+    }
+
+    /// Conflict (aliasing) rate of the prediction table — the Figure 9
+    /// metric.
+    pub fn conflict_rate(&self) -> f64 {
+        self.table.conflict_rate()
+    }
+
+    /// Total accesses to the prediction table.
+    pub fn table_accesses(&self) -> u64 {
+        self.table.accesses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed "queue" backed by a slice: `values[0]` is distance 1.
+    fn q(values: &[u64]) -> impl Fn(usize) -> Option<u64> + '_ {
+        move |k| values.get(k - 1).copied()
+    }
+
+    #[test]
+    fn learns_distance_after_two_productions() {
+        let mut c = GDiffCore::new(Capacity::Unbounded, 4);
+        // First production: actual 5, queue [9, 1, 7]: diffs [-4, 4, -2].
+        c.update_with(0, 5, q(&[9, 1, 7]));
+        assert_eq!(c.entry(0).unwrap().distance(), None);
+        // Second production: actual 12, queue [3, 8, 2]: diffs [9, 4, 10].
+        // Distance 2 repeats with diff 4.
+        c.update_with(0, 12, q(&[3, 8, 2]));
+        assert_eq!(c.entry(0).unwrap().distance(), Some(2));
+        assert_eq!(c.entry(0).unwrap().diff(2), Some(4));
+        // Prediction: queue [6, 3, 1] -> 3 + 4 = 7.
+        assert_eq!(c.predict_with(0, q(&[6, 3, 1])), Some(7));
+    }
+
+    #[test]
+    fn no_prediction_before_distance_selected() {
+        let mut c = GDiffCore::new(Capacity::Unbounded, 4);
+        assert_eq!(c.predict_with(0, q(&[1, 2, 3, 4])), None);
+        c.update_with(0, 5, q(&[1, 2, 3, 4]));
+        assert_eq!(c.predict_with(0, q(&[1, 2, 3, 4])), None);
+    }
+
+    #[test]
+    fn hysteresis_prefers_current_distance() {
+        let mut c = GDiffCore::new(Capacity::Unbounded, 4);
+        // Establish distance 3 with diff 0 (value equality), while distance
+        // 1 also happens to repeat. Smallest-match would pick 1; once 3 is
+        // selected it must stick while it keeps matching.
+        c.update_with(0, 5, q(&[5, 9, 5, 2]));
+        c.update_with(0, 6, q(&[6, 1, 6, 3]));
+        assert_eq!(c.entry(0).unwrap().distance(), Some(1)); // first match: smallest
+        // Now break distances 1/2/4 but keep distance 3 matching (diff 0).
+        c.update_with(0, 7, q(&[4, 9, 7, 8]));
+        // dist1 diff: 3 (was 0) no match; dist3 diff: 0 == stored 0 -> match.
+        assert_eq!(c.entry(0).unwrap().distance(), Some(3));
+        // And while 3 keeps matching, it stays selected even if 1 matches too.
+        c.update_with(0, 9, q(&[6, 5, 9, 1])); // dist1 diff 3 (matches stored 3), dist3 diff 0
+        assert_eq!(c.entry(0).unwrap().distance(), Some(3));
+    }
+
+    #[test]
+    fn no_match_keeps_distance_but_stores_diffs() {
+        let mut c = GDiffCore::new(Capacity::Unbounded, 2);
+        c.update_with(0, 10, q(&[4, 6])); // diffs [6, 4]
+        c.update_with(0, 20, q(&[14, 2])); // diffs [6, 18] -> distance 1
+        assert_eq!(c.entry(0).unwrap().distance(), Some(1));
+        c.update_with(0, 30, q(&[1, 2])); // diffs [29, 28]: no match
+        let e = c.entry(0).unwrap();
+        assert_eq!(e.distance(), Some(1), "distance must not change on mismatch");
+        assert_eq!(e.diff(1), Some(29), "diffs must refresh on mismatch");
+    }
+
+    #[test]
+    fn unavailable_slots_do_not_erase_diffs() {
+        let mut c = GDiffCore::new(Capacity::Unbounded, 2);
+        c.update_with(0, 10, q(&[4, 6]));
+        // Distance-2 slot unavailable this time; its stored diff survives.
+        c.update_with(0, 20, |k| if k == 1 { Some(14) } else { None });
+        assert_eq!(c.entry(0).unwrap().diff(2), Some(4));
+        assert_eq!(c.entry(0).unwrap().distance(), Some(1));
+    }
+
+    #[test]
+    fn prediction_requires_live_slot() {
+        let mut c = GDiffCore::new(Capacity::Unbounded, 2);
+        c.update_with(0, 10, q(&[4, 6]));
+        c.update_with(0, 20, q(&[14, 2]));
+        assert_eq!(c.predict_with(0, |_| None), None);
+    }
+
+    #[test]
+    fn wrapping_differences_are_handled() {
+        let mut c = GDiffCore::new(Capacity::Unbounded, 1);
+        // actual is smaller than the queue value: negative diff via wrap.
+        c.update_with(0, 5, q(&[u64::MAX]));
+        c.update_with(0, 7, q(&[1])); // diff 6 both times
+        assert_eq!(c.entry(0).unwrap().distance(), Some(1));
+        assert_eq!(c.predict_with(0, q(&[10])), Some(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_order_rejected() {
+        let _ = GDiffCore::new(Capacity::Unbounded, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! Each `figN`/`tableN` function reproduces the corresponding exhibit:
+//! it runs the same predictors over the same (synthetic-substitute)
+//! benchmarks with the paper's parameters and returns the series the paper
+//! plots, as structured data. The `harness` binary prints them as aligned
+//! text tables; `EXPERIMENTS.md` records paper-vs-measured values.
+//!
+//! | Function | Paper exhibit |
+//! |----------|---------------|
+//! | [`fig1`] | Figure 1 — a hard-to-predict value sequence (parser) |
+//! | [`fig8`] | Figure 8 — profile accuracy: stride vs DFCM vs gDiff(q=8) |
+//! | [`fig9`] | Figure 9 — aliasing (conflict) rate vs table size |
+//! | [`fig10`] | Figure 10 — accuracy vs value delay T |
+//! | [`fig12`] | Figure 12 — value-delay distribution in the OOO pipeline |
+//! | [`fig13`] | Figure 13 — SGVQ gDiff vs local stride (accuracy/coverage) |
+//! | [`fig16`] | Figure 16 — HGVQ gDiff vs local stride vs local context |
+//! | [`fig18`] | Figure 18 — load-address predictability (all + missing loads) |
+//! | [`table2`] | Table 2 — baseline IPC |
+//! | [`fig19`] | Figure 19 — value-speculation speedups |
+//! | [`ablate_queue`] | queue-order ablation (the gap effect) |
+//! | [`ablate_filler`] | HGVQ filler ablation |
+//! | [`ablate_confidence`] | confidence-mechanism ablation |
+//! | [`ablate_depth`] | deeper front ends (§8 future work) |
+//! | [`prefetch`] | address-prediction-driven prefetching (§6/§8 future work) |
+//! | [`limit`] | perfect-value-prediction headroom (Sazeides-style) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+pub mod addr;
+pub mod pipe;
+pub mod profile;
+pub mod report;
+
+pub use addr::{fig18, Fig18Row};
+pub use pipe::{
+    ablate_confidence, ablate_depth, ablate_filler, fig12, fig13, fig16, fig19, limit, prefetch,
+    table2, ConfidenceRow, DelayDistribution, DepthRow, FillerRow, LimitRow, PipelineVpRow,
+    PrefetchRow, SpeedupRow,
+};
+pub use profile::{ablate_queue, fig1, fig10, fig8, fig9, Fig10Row, Fig8Row, Fig9Row, QueueRow};
+
+/// Run-size parameters shared by all experiments.
+///
+/// The paper simulates 500M–1B instructions per benchmark; the defaults
+/// here are sized for minutes-not-hours turnaround while staying deep into
+/// steady state. All experiments are deterministic for a given seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunParams {
+    /// Workload seed.
+    pub seed: u64,
+    /// Warm-up instructions (caches, predictors, branch tables).
+    pub warmup: u64,
+    /// Measured instructions.
+    pub measure: u64,
+}
+
+impl RunParams {
+    /// Default profile-study size.
+    pub fn profile_default() -> Self {
+        RunParams { seed: 42, warmup: 200_000, measure: 2_000_000 }
+    }
+
+    /// Default pipeline-study size (per simulator run).
+    pub fn pipeline_default() -> Self {
+        RunParams { seed: 42, warmup: 100_000, measure: 400_000 }
+    }
+
+    /// A reduced size for unit tests.
+    pub fn tiny() -> Self {
+        RunParams { seed: 42, warmup: 5_000, measure: 40_000 }
+    }
+
+    /// Scales both phases by `f` (command-line `--scale`).
+    pub fn scaled(self, f: f64) -> Self {
+        RunParams {
+            seed: self.seed,
+            warmup: ((self.warmup as f64 * f) as u64).max(1_000),
+            measure: ((self.measure as f64 * f) as u64).max(10_000),
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! Experiment driver: `cargo run -p harness --release -- <experiment>`.
+//!
+//! Experiments: fig1 fig8 fig9 fig10 fig12 fig13 fig16 fig18a fig18b
+//! table2 fig19 ablate-queue ablate-filler ablate-confidence all
+//!
+//! Options: `--scale <f>` multiplies run sizes (default 1.0),
+//! `--seed <n>` sets the workload seed (default 42).
+
+use harness::report::{f2, pct, speedup_pct, Table};
+use harness::{
+    ablate_confidence, ablate_depth, ablate_filler, ablate_queue, fig1, fig10, fig12, fig13,
+    fig16, fig18, fig19, fig8, fig9, limit, pipe::harmonic_mean, prefetch,
+    profile::ablate_queue_orders, profile::fig10_delays, profile::fig9_sizes, table2, Fig18Row,
+    PipelineVpRow, RunParams,
+};
+use predictors::MarkovConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
+    let mut exps: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = it.next().expect("--scale needs a value").parse().expect("scale"),
+            "--seed" => seed = it.next().expect("--seed needs a value").parse().expect("seed"),
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => exps.push(other.to_string()),
+        }
+    }
+    if exps.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let mut profile = RunParams::profile_default().scaled(scale);
+    let mut pipelinep = RunParams::pipeline_default().scaled(scale);
+    profile.seed = seed;
+    pipelinep.seed = seed;
+
+    let all = [
+        "fig1", "fig8", "fig9", "fig10", "fig12", "fig13", "fig16", "fig18a", "fig18b", "table2",
+        "fig19", "ablate-queue", "ablate-filler", "ablate-confidence", "ablate-depth",
+        "prefetch", "limit",
+    ];
+    let selected: Vec<String> = if exps.iter().any(|e| e == "all") {
+        all.iter().map(|s| s.to_string()).collect()
+    } else {
+        exps
+    };
+
+    for exp in &selected {
+        let t0 = std::time::Instant::now();
+        match exp.as_str() {
+            "fig1" => run_fig1(profile),
+            "fig8" => run_fig8(profile),
+            "fig9" => run_fig9(profile),
+            "fig10" => run_fig10(profile),
+            "fig12" => run_fig12(pipelinep),
+            "fig13" => run_fig13(pipelinep),
+            "fig16" => run_fig16(pipelinep),
+            "fig18a" => run_fig18(pipelinep, false),
+            "fig18b" => run_fig18(pipelinep, true),
+            "table2" => run_table2(pipelinep),
+            "fig19" => run_fig19(pipelinep),
+            "ablate-queue" => run_ablate_queue(profile),
+            "ablate-filler" => run_ablate_filler(pipelinep),
+            "ablate-confidence" => run_ablate_confidence(pipelinep),
+            "ablate-depth" => run_ablate_depth(pipelinep),
+            "prefetch" => run_prefetch(pipelinep),
+            "limit" => run_limit(pipelinep),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+        eprintln!("[{exp} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: harness [--scale F] [--seed N] <experiment>...\n\
+         experiments: fig1 fig8 fig9 fig10 fig12 fig13 fig16 fig18a fig18b\n\
+         table2 fig19 ablate-queue ablate-filler ablate-confidence\n\
+         ablate-depth prefetch limit all"
+    );
+}
+
+fn avg(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = xs.into_iter().collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn run_fig1(p: RunParams) {
+    let f = fig1(p);
+    println!("== Figure 1: hard-to-predict value sequence (parser spill/fill reload) ==");
+    println!("first 40 values (paper plots the last three digits):");
+    for chunk in f.sequence.iter().take(40).collect::<Vec<_>>().chunks(10) {
+        println!("  {}", chunk.iter().map(|v| format!("{v:>5}")).collect::<Vec<_>>().join(" "));
+    }
+    println!("local stride accuracy on this instruction: {} (paper: 4%)", pct(f.stride_accuracy));
+    println!("local DFCM accuracy on this instruction:   {} (paper: 2%)", pct(f.dfcm_accuracy));
+    println!(
+        "gdiff(q=8) accuracy on this instruction:   {} (paper: ~100% via the correlated load)",
+        pct(f.gdiff_accuracy)
+    );
+}
+
+fn run_fig8(p: RunParams) {
+    let rows = fig8(p);
+    let mut t = Table::new(
+        "Figure 8: profile value-prediction accuracy (all value producers, unlimited tables)",
+        &["bench", "stride", "DFCM", "gdiff(q=8)", "gdiff(q=32)"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.bench.to_string(),
+            pct(r.stride),
+            pct(r.dfcm),
+            pct(r.gdiff_q8),
+            pct(r.gdiff_q32),
+        ]);
+    }
+    t.row(vec![
+        "average".into(),
+        pct(avg(rows.iter().map(|r| r.stride))),
+        pct(avg(rows.iter().map(|r| r.dfcm))),
+        pct(avg(rows.iter().map(|r| r.gdiff_q8))),
+        pct(avg(rows.iter().map(|r| r.gdiff_q32))),
+    ]);
+    print!("{}", t.render());
+    println!("(paper averages: stride 57%, DFCM 64%, gdiff(q=8) 73%; gap recovers to 59.7% at q=32)");
+}
+
+fn run_fig9(p: RunParams) {
+    let rows = fig9(p);
+    let sizes = fig9_sizes();
+    let mut headers: Vec<String> = vec!["bench".into()];
+    headers.extend(sizes.iter().map(|s| match s {
+        None => "unlimited".to_string(),
+        Some(n) => format!("{}K", n / 1024),
+    }));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t =
+        Table::new("Figure 9: gdiff table aliasing (conflict rate) per table size", &hdr_refs);
+    for r in &rows {
+        let mut cells = vec![r.bench.to_string()];
+        cells.extend(r.conflict_rates.iter().map(|c| pct(*c)));
+        t.row(cells);
+    }
+    print!("{}", t.render());
+    let degr = avg(rows.iter().map(|r| r.accuracy_unlimited - r.accuracy_8k));
+    println!("mean accuracy loss of the 8K table vs unlimited: {} (paper: < 1%)", pct(degr));
+}
+
+fn run_fig10(p: RunParams) {
+    let rows = fig10(p);
+    let delays = fig10_delays();
+    let mut headers: Vec<String> = vec!["bench".into()];
+    headers.extend(delays.iter().map(|d| format!("T={d}")));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Figure 10: gdiff(q=8) accuracy under value delay", &hdr_refs);
+    for r in &rows {
+        let mut cells = vec![r.bench.to_string()];
+        cells.extend(r.accuracy.iter().map(|a| pct(*a)));
+        t.row(cells);
+    }
+    let mut cells = vec!["average".to_string()];
+    for i in 0..delays.len() {
+        cells.push(pct(avg(rows.iter().map(|r| r.accuracy[i]))));
+    }
+    t.row(cells);
+    print!("{}", t.render());
+    println!("(paper averages: T=0 73% falling to T=16 52%)");
+}
+
+fn run_fig12(p: RunParams) {
+    let d = fig12(p);
+    println!("== Figure 12: value-delay distribution ({}) ==", d.bench);
+    for (i, f) in d.fractions.iter().enumerate() {
+        println!("  delay {i:>2}: {:>6}  {}", pct(*f), "#".repeat((f * 200.0) as usize));
+    }
+    println!("mean value delay: {:.2} (paper: ~5)", d.mean);
+}
+
+fn vp_table(title: &str, rows: &[PipelineVpRow], with_context: bool) {
+    let headers: Vec<&str> = if with_context {
+        vec![
+            "bench",
+            "gdiff acc",
+            "gdiff cov",
+            "stride acc",
+            "stride cov",
+            "context acc",
+            "context cov",
+        ]
+    } else {
+        vec!["bench", "gdiff acc", "gdiff cov", "stride acc", "stride cov"]
+    };
+    let mut t = Table::new(title, &headers);
+    for r in rows {
+        let mut cells = vec![
+            r.bench.to_string(),
+            pct(r.gdiff_accuracy),
+            pct(r.gdiff_coverage),
+            pct(r.stride_accuracy),
+            pct(r.stride_coverage),
+        ];
+        if with_context {
+            cells.push(pct(r.context_accuracy));
+            cells.push(pct(r.context_coverage));
+        }
+        t.row(cells);
+    }
+    let mut cells = vec![
+        "average".to_string(),
+        pct(avg(rows.iter().map(|r| r.gdiff_accuracy))),
+        pct(avg(rows.iter().map(|r| r.gdiff_coverage))),
+        pct(avg(rows.iter().map(|r| r.stride_accuracy))),
+        pct(avg(rows.iter().map(|r| r.stride_coverage))),
+    ];
+    if with_context {
+        cells.push(pct(avg(rows.iter().map(|r| r.context_accuracy))));
+        cells.push(pct(avg(rows.iter().map(|r| r.context_coverage))));
+    }
+    t.row(cells);
+    print!("{}", t.render());
+}
+
+fn run_fig13(p: RunParams) {
+    let rows = fig13(p);
+    vp_table(
+        "Figure 13: gdiff with SGVQ (q=32) vs local stride, in-pipeline, 3-bit confidence",
+        &rows,
+        false,
+    );
+    println!("(paper averages: gdiff 74% acc / 49% cov; stride 89% acc / 55% cov)");
+}
+
+fn run_fig16(p: RunParams) {
+    let rows = fig16(p);
+    vp_table("Figure 16: gdiff with HGVQ (q=32) vs local stride vs local context", &rows, true);
+    println!("(paper averages: gdiff 91% acc / 64% cov; stride 89% / 55%; context ~87% / 45%)");
+}
+
+fn run_fig18(p: RunParams, missing: bool) {
+    let rows = fig18(p, MarkovConfig::paper_256k());
+    let (title, note) = if missing {
+        (
+            "Figure 18b: predictability of MISSING load addresses",
+            "(paper averages: ls 25% cov/55% acc; gs 33% cov/53% acc; markov 69% cov/20% acc)",
+        )
+    } else {
+        (
+            "Figure 18a: load-address predictability (all loads)",
+            "(paper averages: ls 55% cov/86% acc; gs 63% cov/86% acc; markov 87% cov/33% acc)",
+        )
+    };
+    let mut t = Table::new(
+        title,
+        &["bench", "ls cov", "ls acc", "gs cov", "gs acc", "markov cov", "markov acc"],
+    );
+    let sel = |r: &Fig18Row| -> [(f64, f64); 3] {
+        if missing {
+            [r.stride_miss, r.gdiff_miss, r.markov_miss]
+        } else {
+            [r.stride, r.gdiff, r.markov]
+        }
+    };
+    for r in &rows {
+        let [s, g, m] = sel(r);
+        t.row(vec![
+            r.bench.to_string(),
+            pct(s.0),
+            pct(s.1),
+            pct(g.0),
+            pct(g.1),
+            pct(m.0),
+            pct(m.1),
+        ]);
+    }
+    let cols: Vec<f64> = (0..6)
+        .map(|i| {
+            avg(rows.iter().map(|r| {
+                let [s, g, m] = sel(r);
+                [s.0, s.1, g.0, g.1, m.0, m.1][i]
+            }))
+        })
+        .collect();
+    t.row(std::iter::once("average".to_string()).chain(cols.iter().map(|c| pct(*c))).collect());
+    print!("{}", t.render());
+    println!("{note}");
+}
+
+fn run_table2(p: RunParams) {
+    let rows = table2(p);
+    let mut t = Table::new(
+        "Table 2: baseline IPC (4-way, 64-entry window, no value speculation)",
+        &["bench", "IPC"],
+    );
+    for (b, ipc) in &rows {
+        t.row(vec![b.to_string(), f2(*ipc)]);
+    }
+    print!("{}", t.render());
+}
+
+fn run_fig19(p: RunParams) {
+    let rows = fig19(p);
+    let mut t = Table::new(
+        "Figure 19: speedup of value speculation over the no-VP baseline",
+        &["bench", "base IPC", "local stride", "local context", "gdiff (HGVQ)"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.bench.to_string(),
+            f2(r.baseline_ipc),
+            speedup_pct(r.local_stride),
+            speedup_pct(r.local_context),
+            speedup_pct(r.gdiff),
+        ]);
+    }
+    t.row(vec![
+        "H-mean".into(),
+        String::new(),
+        speedup_pct(harmonic_mean(rows.iter().map(|r| r.local_stride))),
+        speedup_pct(harmonic_mean(rows.iter().map(|r| r.local_context))),
+        speedup_pct(harmonic_mean(rows.iter().map(|r| r.gdiff))),
+    ]);
+    print!("{}", t.render());
+    println!("(paper: gdiff up to +53% (mcf), H-mean +19.2%; local stride H-mean ~+15%)");
+}
+
+fn run_ablate_queue(p: RunParams) {
+    let rows = ablate_queue(p);
+    let orders = ablate_queue_orders();
+    let mut headers: Vec<String> = vec!["bench".into()];
+    headers.extend(orders.iter().map(|o| format!("q={o}")));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Ablation: gdiff profile accuracy vs queue order", &hdr_refs);
+    for r in &rows {
+        let mut cells = vec![r.bench.to_string()];
+        cells.extend(r.accuracy.iter().map(|a| pct(*a)));
+        t.row(cells);
+    }
+    print!("{}", t.render());
+}
+
+fn run_ablate_filler(p: RunParams) {
+    let rows = ablate_filler(p);
+    let mut t = Table::new(
+        "Ablation: HGVQ filler choice (accuracy / coverage)",
+        &["bench", "stride filler", "last-value filler", "no filler (SGVQ)"],
+    );
+    for r in &rows {
+        let f = |(a, c): (f64, f64)| format!("{} / {}", pct(a), pct(c));
+        t.row(vec![
+            r.bench.to_string(),
+            f(r.stride_filler),
+            f(r.last_value_filler),
+            f(r.no_filler),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn run_prefetch(p: RunParams) {
+    let rows = prefetch(p);
+    let mut t = Table::new(
+        "Extension: address-prediction-driven prefetching (IPC speedup over no-prefetch)",
+        &["bench", "miss rate", "base IPC", "next-line", "stride", "gdiff", "gdiff useful"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.bench.to_string(),
+            pct(r.base_miss_rate),
+            f2(r.base_ipc),
+            speedup_pct(r.next_line),
+            speedup_pct(r.stride),
+            speedup_pct(r.gdiff),
+            pct(r.gdiff_useful),
+        ]);
+    }
+    t.row(vec![
+        "H-mean".into(),
+        String::new(),
+        String::new(),
+        speedup_pct(harmonic_mean(rows.iter().map(|r| r.next_line))),
+        speedup_pct(harmonic_mean(rows.iter().map(|r| r.stride))),
+        speedup_pct(harmonic_mean(rows.iter().map(|r| r.gdiff))),
+        String::new(),
+    ]);
+    print!("{}", t.render());
+    println!("(the paper's §6/§8 future work: gdiff-detected global stride locality driving prefetch)");
+}
+
+fn run_limit(p: RunParams) {
+    let rows = limit(p);
+    let mut t = Table::new(
+        "Limit study: gdiff vs perfect value prediction (oracle)",
+        &["bench", "base IPC", "gdiff (HGVQ)", "oracle", "headroom captured"],
+    );
+    for r in &rows {
+        let captured = if r.oracle > 1.0 { (r.gdiff - 1.0) / (r.oracle - 1.0) } else { 0.0 };
+        t.row(vec![
+            r.bench.to_string(),
+            f2(r.base_ipc),
+            speedup_pct(r.gdiff),
+            speedup_pct(r.oracle),
+            pct(captured.clamp(0.0, 1.0)),
+        ]);
+    }
+    t.row(vec![
+        "H-mean".into(),
+        String::new(),
+        speedup_pct(harmonic_mean(rows.iter().map(|r| r.gdiff))),
+        speedup_pct(harmonic_mean(rows.iter().map(|r| r.oracle))),
+        String::new(),
+    ]);
+    print!("{}", t.render());
+}
+
+fn run_ablate_depth(p: RunParams) {
+    let rows = ablate_depth(p);
+    let mut t = Table::new(
+        "Ablation: front-end depth (deeper pipelines, §8 future work)",
+        &["depth", "redirect", "mean value delay", "stride speedup", "gdiff speedup"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.depth.to_string(),
+            r.redirect.to_string(),
+            format!("{:.1}", r.mean_delay),
+            speedup_pct(r.stride_speedup),
+            speedup_pct(r.gdiff_speedup),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(in this machine deeper front ends throttle dispatch via redirect cost, shrinking");
+    println!(" the in-flight value count and with it the headroom value prediction can exploit)");
+}
+
+fn run_ablate_confidence(p: RunParams) {
+    let rows = ablate_confidence(p);
+    let mut t = Table::new(
+        "Ablation: confidence threshold on the HGVQ engine (means over benchmarks)",
+        &["threshold", "accuracy", "coverage", "H-mean speedup"],
+    );
+    for r in &rows {
+        let thr = if r.threshold == 0 { "off (0)".to_string() } else { r.threshold.to_string() };
+        t.row(vec![thr, pct(r.accuracy), pct(r.coverage), speedup_pct(r.speedup)]);
+    }
+    print!("{}", t.render());
+    println!("(paper uses threshold 4: +2 correct / -1 incorrect, 3-bit counters)");
+}

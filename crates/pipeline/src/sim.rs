@@ -1,0 +1,693 @@
+//! The trace-driven out-of-order superscalar timing model.
+//!
+//! The model reproduces the structure of the paper's modified SimpleScalar
+//! `sim-outorder` (Table 1): a 4-wide fetch/dispatch/issue/retire machine
+//! with a unified 64-entry reorder buffer (RUU-style), 4 symmetric function
+//! units, gshare+BTB front end, 64 KB 4-way I/D caches, and *value
+//! speculation with selective reissue* — dependents may issue on a
+//! confidence-gated predicted value; when the prediction verifies wrong at
+//! write-back, every instruction that (transitively) consumed it
+//! re-executes, as in the "great latency" model of Sazeides \[24\] the
+//! paper adopts.
+//!
+//! Because the simulator is trace driven, wrong-path instructions are not
+//! fetched; a branch misprediction instead stalls fetch until the branch
+//! resolves plus a redirect penalty — the standard trace-driven
+//! approximation, which preserves the dispatch-order value stream the gDiff
+//! predictors observe.
+
+use std::collections::{HashMap, VecDeque};
+
+use workloads::{DynInst, OpClass};
+
+use crate::stats::DelayHistogram;
+use crate::vp::record_token;
+use crate::{BranchPredictor, Cache, PipelineConfig, Prefetcher, SimStats, VpEngine, VpToken};
+
+/// Number of architectural registers in the workload ISA.
+const NUM_REGS: usize = 64;
+
+/// Watchdog: cycles without any retirement before declaring deadlock.
+const WATCHDOG_CYCLES: u64 = 100_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Dispatched; waiting for operands.
+    Waiting,
+    /// Issued to a function unit; completes at `done_cycle`.
+    Executing,
+    /// Completed (result final unless squashed for reissue).
+    Done,
+}
+
+#[derive(Debug)]
+struct RobEntry {
+    inst: DynInst,
+    seq: u64,
+    state: State,
+    /// Sequence numbers of in-flight producers per source operand.
+    deps: [Option<u64>; 2],
+    /// The operand values read at issue time (for reissue detection).
+    read: [Option<u64>; 2],
+    /// The value consumers may read: a confident prediction at dispatch,
+    /// the actual value after completion, `None` when neither.
+    published: Option<u64>,
+    done_cycle: u64,
+    vp_token: VpToken,
+    /// Whether the VP write-back hook and stats already ran (first
+    /// completion only).
+    vp_done: bool,
+    /// D-cache outcome of the first issue (loads only).
+    dcache_hit: Option<bool>,
+    mispredicted_branch: bool,
+    redirect_done: bool,
+    dispatched_at_value_count: u64,
+}
+
+/// Hooks for measurement-only instrumentation (no timing effect).
+///
+/// The §6 load-address-prediction study is implemented as an observer: it
+/// predicts each load's address at dispatch and trains at address
+/// generation, correlating the two callbacks via `seq`.
+pub trait SimObserver {
+    /// A new instruction entered the ROB.
+    fn dispatch(&mut self, seq: u64, inst: &DynInst) {
+        let _ = (seq, inst);
+    }
+
+    /// A load generated its address (first issue); `hit` is the D-cache
+    /// outcome.
+    fn load_agen(&mut self, seq: u64, inst: &DynInst, hit: bool) {
+        let _ = (seq, inst, hit);
+    }
+
+    /// The warm-up phase ended; reset measurement state.
+    fn measurement_started(&mut self) {}
+}
+
+/// A no-op observer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// The out-of-order pipeline simulator.
+///
+/// # Examples
+///
+/// ```
+/// use pipeline::{PipelineConfig, Simulator, NoVp};
+/// use workloads::Benchmark;
+///
+/// let trace = Benchmark::Gzip.build(42).take(60_000);
+/// let stats = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp))
+///     .run(trace, 10_000, 50_000);
+/// assert!(stats.ipc() > 0.3 && stats.ipc() < 4.0);
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    config: PipelineConfig,
+    engine: Box<dyn VpEngine>,
+    icache: Cache,
+    dcache: Cache,
+    branch: BranchPredictor,
+
+    cycle: u64,
+    rob: VecDeque<RobEntry>,
+    base_seq: u64,
+    next_seq: u64,
+    reg_producer: [Option<u64>; NUM_REGS],
+    /// Fetched, not yet dispatched: (inst, earliest dispatch cycle).
+    dispatch_queue: VecDeque<(DynInst, u64, bool)>,
+    fetch_resume: u64,
+    last_fetch_line: Option<u64>,
+    /// Set while a mispredicted branch is in flight (fetch stalled on it).
+    waiting_redirect: bool,
+
+    prefetcher: Option<Box<dyn Prefetcher>>,
+    /// In-flight cache fills started by the prefetcher: line -> ready cycle.
+    pending_fills: HashMap<u64, u64>,
+    prefetches_issued: u64,
+    prefetches_useful: u64,
+
+    // counters
+    retired: u64,
+    value_producing: u64,
+    loads: u64,
+    reissues: u64,
+    value_wb_counter: u64,
+    vp_stats: predictors::PredictorStats,
+    vp_missing: predictors::PredictorStats,
+    delays: DelayHistogram,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration and
+    /// value-prediction engine.
+    pub fn new(config: PipelineConfig, engine: Box<dyn VpEngine>) -> Self {
+        Simulator {
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+            branch: BranchPredictor::default_config(),
+            config,
+            engine,
+            cycle: 0,
+            rob: VecDeque::new(),
+            base_seq: 0,
+            next_seq: 0,
+            reg_producer: [None; NUM_REGS],
+            dispatch_queue: VecDeque::new(),
+            fetch_resume: 0,
+            last_fetch_line: None,
+            waiting_redirect: false,
+            prefetcher: None,
+            pending_fills: HashMap::new(),
+            prefetches_issued: 0,
+            prefetches_useful: 0,
+            retired: 0,
+            value_producing: 0,
+            loads: 0,
+            reissues: 0,
+            value_wb_counter: 0,
+            vp_stats: predictors::PredictorStats::new(),
+            vp_missing: predictors::PredictorStats::new(),
+            delays: DelayHistogram::new(64),
+        }
+    }
+
+    /// Attaches an address-prediction-driven prefetcher (§6's future-work
+    /// extension): confident predicted addresses start their cache fill at
+    /// load dispatch, hiding part or all of the miss latency.
+    pub fn with_prefetcher(mut self, prefetcher: Box<dyn Prefetcher>) -> Self {
+        self.prefetcher = Some(prefetcher);
+        self
+    }
+
+    /// Runs the simulation: `warmup` retired instructions to warm caches,
+    /// predictors and branch tables, then `measure` retired instructions of
+    /// measurement. Returns the measurement-phase statistics.
+    ///
+    /// The trace must supply at least `warmup + measure` instructions;
+    /// running out of trace ends the run early (the statistics cover what
+    /// retired).
+    pub fn run(self, trace: impl IntoIterator<Item = DynInst>, warmup: u64, measure: u64) -> SimStats {
+        self.run_with_observer(trace, warmup, measure, &mut NullObserver)
+    }
+
+    /// Like [`run`](Self::run), with an instrumentation observer.
+    pub fn run_with_observer(
+        mut self,
+        trace: impl IntoIterator<Item = DynInst>,
+        warmup: u64,
+        measure: u64,
+        observer: &mut dyn SimObserver,
+    ) -> SimStats {
+        let mut trace = trace.into_iter();
+        let mut trace_done = false;
+
+        // --- warm-up phase ---
+        let mut last_progress = (0u64, 0u64);
+        while self.retired < warmup && !(trace_done && self.rob.is_empty() && self.dispatch_queue.is_empty()) {
+            trace_done |= self.step(&mut trace, observer);
+            last_progress = self.check_watchdog(last_progress);
+        }
+
+        // Reset measurement counters.
+        self.retired = 0;
+        self.value_producing = 0;
+        self.loads = 0;
+        self.reissues = 0;
+        self.vp_stats = predictors::PredictorStats::new();
+        self.vp_missing = predictors::PredictorStats::new();
+        self.delays = DelayHistogram::new(64);
+        self.prefetches_issued = 0;
+        self.prefetches_useful = 0;
+        let icache_base = (self.icache.hits(), self.icache.misses());
+        let dcache_base = (self.dcache.hits(), self.dcache.misses());
+        let branch_base = (self.branch.lookups(), self.branch.mispredicts());
+        let cycle_base = self.cycle;
+        observer.measurement_started();
+
+        // --- measurement phase ---
+        while self.retired < measure && !(trace_done && self.rob.is_empty() && self.dispatch_queue.is_empty()) {
+            trace_done |= self.step(&mut trace, observer);
+            last_progress = self.check_watchdog(last_progress);
+        }
+
+        let d_hits = self.dcache.hits() - dcache_base.0;
+        let d_misses = self.dcache.misses() - dcache_base.1;
+        let i_hits = self.icache.hits() - icache_base.0;
+        let i_misses = self.icache.misses() - icache_base.1;
+        let b_lookups = self.branch.lookups() - branch_base.0;
+        let b_miss = self.branch.mispredicts() - branch_base.1;
+        SimStats {
+            cycles: self.cycle - cycle_base,
+            retired: self.retired,
+            value_producing: self.value_producing,
+            loads: self.loads,
+            dcache_miss_rate: rate(d_misses, d_hits + d_misses),
+            icache_miss_rate: rate(i_misses, i_hits + i_misses),
+            branch_mispredict_rate: rate(b_miss, b_lookups),
+            vp: self.vp_stats,
+            vp_missing_loads: self.vp_missing,
+            delays: self.delays,
+            reissues: self.reissues,
+            prefetches_issued: self.prefetches_issued,
+            prefetches_useful: self.prefetches_useful,
+        }
+    }
+
+    fn check_watchdog(&self, last: (u64, u64)) -> (u64, u64) {
+        if self.retired != last.1 {
+            (self.cycle, self.retired)
+        } else {
+            assert!(
+                self.cycle - last.0 < WATCHDOG_CYCLES,
+                "pipeline deadlock at cycle {}: rob={} queue={} head={:?}",
+                self.cycle,
+                self.rob.len(),
+                self.dispatch_queue.len(),
+                self.rob.front().map(|e| (e.inst, e.state, e.deps)),
+            );
+            last
+        }
+    }
+
+    /// One cycle. Returns `true` when the trace ran out this cycle.
+    fn step(&mut self, trace: &mut impl Iterator<Item = DynInst>, observer: &mut dyn SimObserver) -> bool {
+        self.complete(observer);
+        self.retire();
+        self.issue(observer);
+        self.dispatch(observer);
+        let done = self.fetch(trace);
+        self.cycle += 1;
+        done
+    }
+
+    // ---- stages -----------------------------------------------------
+
+    fn complete(&mut self, _observer: &mut dyn SimObserver) {
+        let cycle = self.cycle;
+        // Collect completions first (borrow discipline).
+        let finishing: Vec<usize> = self
+            .rob
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.state == State::Executing && e.done_cycle <= cycle)
+            .map(|(i, _)| i)
+            .collect();
+        for idx in finishing {
+            let (seq, actual, produces, was_published, token, vp_done, dhit) = {
+                let e = &self.rob[idx];
+                (e.seq, e.inst.value, e.inst.produces_value(), e.published, e.vp_token, e.vp_done, e.dcache_hit)
+            };
+            // VP verification and statistics: first completion only.
+            if produces && !vp_done {
+                let pc = self.rob[idx].inst.pc;
+                self.engine.writeback(pc, &token, actual);
+                record_token(&mut self.vp_stats, &token, actual);
+                if dhit == Some(false) {
+                    record_token(&mut self.vp_missing, &token, actual);
+                }
+                let delay = self.value_wb_counter - self.rob[idx].dispatched_at_value_count;
+                self.delays.record(delay);
+                self.value_wb_counter += 1;
+                self.rob[idx].vp_done = true;
+            }
+            self.rob[idx].state = State::Done;
+            if produces {
+                self.rob[idx].published = Some(actual);
+                // A stale published value (wrong prediction, or a squashed
+                // producer's earlier result) invalidates dependents that
+                // consumed it.
+                if was_published != Some(actual) && was_published.is_some() {
+                    self.squash_consumers(seq, Some(actual));
+                }
+            }
+            // Branch resolution: redirect the stalled front end.
+            let e = &mut self.rob[idx];
+            if e.mispredicted_branch && !e.redirect_done {
+                e.redirect_done = true;
+                self.waiting_redirect = false;
+                self.fetch_resume = cycle + self.config.redirect_penalty;
+            }
+        }
+    }
+
+    /// Selective reissue: squash (transitively) every issued instruction
+    /// that consumed a value of `producer_seq` other than `valid`.
+    ///
+    /// When a squashed instruction had itself completed, its readers
+    /// consumed a result computed from a wrong input, so they are squashed
+    /// in turn; the squashed producer's publication reverts to its
+    /// dispatch-time confident prediction (if any), exactly the state a
+    /// freshly dispatched copy would have. Each squash moves an entry from
+    /// an issued state to `Waiting` (skipped thereafter), so the walk
+    /// terminates.
+    fn squash_consumers(&mut self, producer_seq: u64, valid: Option<u64>) {
+        let mut worklist = vec![(producer_seq, valid)];
+        while let Some((pseq, valid)) = worklist.pop() {
+            debug_assert!(pseq >= self.base_seq);
+            let start = (pseq + 1 - self.base_seq) as usize;
+            for idx in start..self.rob.len() {
+                let stale = {
+                    let e = &self.rob[idx];
+                    e.state != State::Waiting
+                        && (0..2).any(|s| e.deps[s] == Some(pseq) && e.read[s] != valid)
+                };
+                if !stale {
+                    continue;
+                }
+                let e = &mut self.rob[idx];
+                let was_done = e.state == State::Done;
+                e.state = State::Waiting;
+                e.read = [None, None];
+                self.reissues += 1;
+                if was_done && e.inst.produces_value() {
+                    let own = e.seq;
+                    let old = e.published;
+                    let repub = e.vp_token.confident_prediction();
+                    e.published = repub;
+                    if old != repub {
+                        worklist.push((own, repub));
+                    }
+                }
+            }
+        }
+    }
+
+    fn retire(&mut self) {
+        let mut n = 0;
+        while n < self.config.retire_width {
+            match self.rob.front() {
+                Some(e) if e.state == State::Done => {
+                    let e = self.rob.pop_front().expect("front checked");
+                    self.base_seq = e.seq + 1;
+                    if let Some(d) = e.inst.dst {
+                        if self.reg_producer[d as usize] == Some(e.seq) {
+                            self.reg_producer[d as usize] = None;
+                        }
+                    }
+                    self.retired += 1;
+                    if e.inst.produces_value() {
+                        self.value_producing += 1;
+                    }
+                    if e.inst.op == OpClass::Load {
+                        self.loads += 1;
+                    }
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn operand_ready(&self, entry_idx: usize, src: usize) -> Option<Option<u64>> {
+        // Returns Some(read_value) when ready; None when not ready.
+        let e = &self.rob[entry_idx];
+        match e.deps[src] {
+            None => Some(None),
+            Some(seq) if seq < self.base_seq => Some(None), // retired: regfile
+            Some(seq) => {
+                let p = &self.rob[(seq - self.base_seq) as usize];
+                p.published.map(Some)
+            }
+        }
+    }
+
+    fn issue(&mut self, observer: &mut dyn SimObserver) {
+        let mut issued = 0;
+        let mut idx = 0;
+        while idx < self.rob.len() && issued < self.config.issue_width {
+            if self.rob[idx].state == State::Waiting {
+                let r0 = self.operand_ready(idx, 0);
+                let r1 = self.operand_ready(idx, 1);
+                if let (Some(v0), Some(v1)) = (r0, r1) {
+                    let (lat, seq, inst, first_agen) = {
+                        let e = &mut self.rob[idx];
+                        e.read = [v0, v1];
+                        e.state = State::Executing;
+                        (e.inst.op.latency(), e.seq, e.inst, e.dcache_hit.is_none())
+                    };
+                    let mut lat = lat;
+                    if let Some(addr) = inst.mem_addr {
+                        let hit = self.dcache.access(addr);
+                        if inst.op == OpClass::Load {
+                            lat += self.config.dcache_hit_latency;
+                            if !hit {
+                                // A prefetch in flight for this line hides
+                                // part (late) or all (timely) of the miss.
+                                let line = addr / self.config.dcache.line_bytes;
+                                if let Some(ready) = self.pending_fills.remove(&line) {
+                                    self.prefetches_useful += 1;
+                                    lat += ready.saturating_sub(self.cycle);
+                                } else {
+                                    lat += self.dcache.miss_penalty();
+                                }
+                            }
+                            if first_agen {
+                                self.rob[idx].dcache_hit = Some(hit);
+                                observer.load_agen(seq, &inst, hit);
+                                if let Some(pf) = self.prefetcher.as_mut() {
+                                    pf.train(seq, inst.pc, addr);
+                                }
+                            }
+                        }
+                    }
+                    self.rob[idx].done_cycle = self.cycle + lat;
+                    issued += 1;
+                }
+            }
+            idx += 1;
+        }
+    }
+
+    fn dispatch(&mut self, observer: &mut dyn SimObserver) {
+        let mut n = 0;
+        while n < self.config.dispatch_width
+            && self.rob.len() < self.config.rob_entries
+            && matches!(self.dispatch_queue.front(), Some((_, ready, _)) if *ready <= self.cycle)
+        {
+            let (inst, _, mispredicted) = self.dispatch_queue.pop_front().expect("front checked");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut deps = [None, None];
+            for (s, src) in inst.srcs.iter().enumerate() {
+                if let Some(r) = src {
+                    deps[s] = self.reg_producer[*r as usize];
+                }
+            }
+            if inst.op == OpClass::Load {
+                if let Some(pf) = self.prefetcher.as_mut() {
+                    if let Some(addr) = pf.predict(seq, inst.pc) {
+                        let line = addr / self.config.dcache.line_bytes;
+                        if !self.dcache.probe(addr) && !self.pending_fills.contains_key(&line) {
+                            self.pending_fills
+                                .insert(line, self.cycle + self.dcache.miss_penalty());
+                            self.prefetches_issued += 1;
+                            if self.pending_fills.len() > 4096 {
+                                let now = self.cycle;
+                                self.pending_fills.retain(|_, ready| *ready + 64 > now);
+                            }
+                        }
+                    }
+                }
+            }
+            let vp_token =
+                if inst.produces_value() { self.engine.dispatch(&inst) } else { VpToken::None };
+            let published = vp_token.confident_prediction();
+            if let Some(d) = inst.dst {
+                self.reg_producer[d as usize] = Some(seq);
+            }
+            observer.dispatch(seq, &inst);
+            self.rob.push_back(RobEntry {
+                inst,
+                seq,
+                state: State::Waiting,
+                deps,
+                read: [None, None],
+                published,
+                done_cycle: 0,
+                vp_token,
+                vp_done: false,
+                dcache_hit: None,
+                mispredicted_branch: mispredicted,
+                redirect_done: false,
+                dispatched_at_value_count: self.value_wb_counter,
+            });
+            n += 1;
+        }
+    }
+
+    /// Returns `true` when the trace is exhausted.
+    fn fetch(&mut self, trace: &mut impl Iterator<Item = DynInst>) -> bool {
+        if self.waiting_redirect || self.cycle < self.fetch_resume {
+            return false;
+        }
+        // Keep the front-end queue bounded (fetch buffer depth).
+        let buffer_cap = self.config.fetch_width * 4;
+        let mut fetched = 0;
+        while fetched < self.config.fetch_width && self.dispatch_queue.len() < buffer_cap {
+            let Some(inst) = trace.next() else {
+                return true;
+            };
+            // I-cache: one access per new line.
+            let line = inst.pc / self.config.icache.line_bytes;
+            if self.last_fetch_line != Some(line) {
+                self.last_fetch_line = Some(line);
+                if !self.icache.access(inst.pc) {
+                    // Miss: this instruction arrives after the penalty.
+                    self.fetch_resume = self.cycle + self.config.icache.miss_penalty;
+                    self.dispatch_queue.push_back((
+                        inst,
+                        self.fetch_resume + self.config.front_end_depth,
+                        false,
+                    ));
+                    return false;
+                }
+            }
+            let ready = self.cycle + self.config.front_end_depth;
+            if inst.is_control() {
+                let correct = self.branch.fetch(&inst);
+                if !correct {
+                    // Stall until the branch resolves at execute.
+                    self.waiting_redirect = true;
+                    self.dispatch_queue.push_back((inst, ready, true));
+                    return false;
+                }
+                self.dispatch_queue.push_back((inst, ready, false));
+                fetched += 1;
+                if inst.taken {
+                    // A (correctly predicted) taken branch ends the group.
+                    self.last_fetch_line = None;
+                    break;
+                }
+            } else {
+                self.dispatch_queue.push_back((inst, ready, false));
+                fetched += 1;
+            }
+        }
+        false
+    }
+}
+
+fn rate(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoVp;
+    use workloads::Benchmark;
+
+    fn run_bench(b: Benchmark, engine: Box<dyn VpEngine>, n: u64) -> SimStats {
+        let trace = b.build(7).take((n * 3) as usize);
+        Simulator::new(PipelineConfig::r10k(), engine).run(trace, n / 5, n)
+    }
+
+    #[test]
+    fn ipc_is_sane_for_all_benchmarks() {
+        for b in Benchmark::ALL {
+            let s = run_bench(b, Box::new(NoVp), 30_000);
+            let ipc = s.ipc();
+            assert!(ipc > 0.2 && ipc < 4.0, "{b}: ipc {ipc}");
+            // Retirement is 4-wide: the stop condition can overshoot by up
+            // to retire_width - 1.
+            assert!((30_000..30_004).contains(&s.retired), "{b}: {}", s.retired);
+        }
+    }
+
+    #[test]
+    fn mcf_misses_much_more_than_gzip() {
+        let mcf = run_bench(Benchmark::Mcf, Box::new(NoVp), 40_000);
+        let gzip = run_bench(Benchmark::Gzip, Box::new(NoVp), 40_000);
+        assert!(
+            mcf.dcache_miss_rate > gzip.dcache_miss_rate + 0.15,
+            "mcf {} vs gzip {}",
+            mcf.dcache_miss_rate,
+            gzip.dcache_miss_rate
+        );
+        assert!(mcf.ipc() < gzip.ipc(), "memory-bound mcf must be slower");
+    }
+
+    #[test]
+    fn value_delays_are_recorded_and_moderate() {
+        let s = run_bench(Benchmark::Vortex, Box::new(NoVp), 30_000);
+        assert!(s.delays.total() > 10_000);
+        let mean = s.delays.mean();
+        assert!(mean > 1.0 && mean < 30.0, "mean delay {mean}");
+    }
+
+    #[test]
+    fn value_prediction_improves_ipc_somewhere() {
+        use crate::HgvqEngine;
+        let base = run_bench(Benchmark::Mcf, Box::new(NoVp), 40_000);
+        let vp = run_bench(Benchmark::Mcf, Box::new(HgvqEngine::paper_default()), 40_000);
+        assert!(
+            vp.ipc() > base.ipc() * 1.01,
+            "gdiff must speed mcf up: {} vs {}",
+            vp.ipc(),
+            base.ipc()
+        );
+    }
+
+    #[test]
+    fn vp_stats_are_collected() {
+        use crate::HgvqEngine;
+        let s = run_bench(Benchmark::Gzip, Box::new(HgvqEngine::paper_default()), 30_000);
+        assert!(s.vp.total() > 10_000);
+        assert!(s.vp.coverage() > 0.2, "coverage {}", s.vp.coverage());
+        assert!(s.vp.gated_accuracy() > 0.6, "accuracy {}", s.vp.gated_accuracy());
+    }
+
+    #[test]
+    fn reissues_happen_but_are_bounded() {
+        use crate::LocalEngine;
+        let s = run_bench(Benchmark::Twolf, Box::new(LocalEngine::stride_8k()), 30_000);
+        assert!(s.reissues < s.retired, "reissues {} runaway", s.reissues);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_bench(Benchmark::Parser, Box::new(NoVp), 20_000);
+        let b = run_bench(Benchmark::Parser, Box::new(NoVp), 20_000);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.retired, b.retired);
+    }
+
+    #[test]
+    fn observer_sees_dispatches_and_loads() {
+        #[derive(Default)]
+        struct Counter {
+            dispatches: u64,
+            loads: u64,
+            hits: u64,
+            reset: bool,
+        }
+        impl SimObserver for Counter {
+            fn dispatch(&mut self, _seq: u64, _inst: &DynInst) {
+                self.dispatches += 1;
+            }
+            fn load_agen(&mut self, _seq: u64, _inst: &DynInst, hit: bool) {
+                self.loads += 1;
+                self.hits += hit as u64;
+            }
+            fn measurement_started(&mut self) {
+                self.reset = true;
+            }
+        }
+        let mut obs = Counter::default();
+        let trace = Benchmark::Gcc.build(3).take(40_000);
+        let _ = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp))
+            .run_with_observer(trace, 2_000, 20_000, &mut obs);
+        assert!(obs.dispatches > 20_000);
+        assert!(obs.loads > 100);
+        assert!(obs.hits > 0);
+        assert!(obs.reset);
+    }
+}

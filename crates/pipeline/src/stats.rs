@@ -1,0 +1,149 @@
+//! Simulation statistics.
+
+use predictors::PredictorStats;
+
+/// Histogram of value delays: for each value-producing instruction, the
+/// number of values produced (written back) between its dispatch and its
+/// own write-back — the paper's Figure 12 metric.
+#[derive(Debug, Clone)]
+pub struct DelayHistogram {
+    buckets: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl DelayHistogram {
+    /// Creates a histogram with buckets `0..=max` (larger delays clamp).
+    pub fn new(max: usize) -> Self {
+        DelayHistogram { buckets: vec![0; max + 1], total: 0, sum: 0 }
+    }
+
+    /// Records one observed delay.
+    pub fn record(&mut self, delay: u64) {
+        let idx = (delay as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.total += 1;
+        self.sum += delay;
+    }
+
+    /// Fraction of observations in bucket `d`.
+    pub fn fraction(&self, d: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.buckets.get(d).copied().unwrap_or(0) as f64 / self.total as f64
+        }
+    }
+
+    /// Mean observed delay.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bucket count (max delay + 1).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether the histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+/// End-of-run statistics of one simulation.
+#[derive(Debug, Clone)]
+pub struct SimStats {
+    /// Cycles simulated (measurement phase).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Value-producing instructions retired.
+    pub value_producing: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// D-cache miss rate over the measurement phase.
+    pub dcache_miss_rate: f64,
+    /// I-cache miss rate.
+    pub icache_miss_rate: f64,
+    /// Branch misprediction rate.
+    pub branch_mispredict_rate: f64,
+    /// Value-prediction accuracy/coverage (all value producers).
+    pub vp: PredictorStats,
+    /// Value-prediction statistics restricted to loads that missed the
+    /// D-cache (the §7 "missing loads" analysis).
+    pub vp_missing_loads: PredictorStats,
+    /// Value-delay histogram (Figure 12).
+    pub delays: DelayHistogram,
+    /// Instructions that were re-executed due to value misprediction.
+    pub reissues: u64,
+    /// Prefetches issued by the attached [`Prefetcher`](crate::Prefetcher).
+    pub prefetches_issued: u64,
+    /// Prefetches that a later demand miss found in flight or completed.
+    pub prefetches_useful: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_clamps_and_averages() {
+        let mut h = DelayHistogram::new(4);
+        h.record(0);
+        h.record(2);
+        h.record(100); // clamps into bucket 4
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.fraction(2), 1.0 / 3.0);
+        assert_eq!(h.fraction(4), 1.0 / 3.0);
+        assert!((h.mean() - 34.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = DelayHistogram::new(4);
+        assert_eq!(h.fraction(0), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn ipc_computes() {
+        let s = SimStats {
+            cycles: 100,
+            retired: 150,
+            value_producing: 90,
+            loads: 30,
+            dcache_miss_rate: 0.1,
+            icache_miss_rate: 0.0,
+            branch_mispredict_rate: 0.05,
+            vp: PredictorStats::new(),
+            vp_missing_loads: PredictorStats::new(),
+            delays: DelayHistogram::new(8),
+            reissues: 0,
+            prefetches_issued: 0,
+            prefetches_useful: 0,
+        };
+        assert!((s.ipc() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the pipeline: totality and conservation laws
+//! on arbitrary (well-formed) instruction streams.
+
+use pipeline::{HgvqEngine, LocalEngine, NoVp, OracleEngine, PipelineConfig, Simulator, VpEngine};
+use proptest::prelude::*;
+use workloads::DynInst;
+
+/// Strategy: a random but well-formed instruction.
+fn arb_inst() -> impl Strategy<Value = DynInst> {
+    (0u64..256, 0u8..7, 0u8..64, 0u8..64, any::<u64>(), 0u64..0x10_0000, any::<bool>()).prop_map(
+        |(pc_idx, kind, r1, r2, value, mem, taken)| {
+            let pc = 0x40_0000 + pc_idx * 4;
+            match kind {
+                0 | 1 => DynInst::alu(pc, r1, [Some(r2), None], value),
+                2 => DynInst::mul(pc, r1, [Some(r2), None], value),
+                3 => DynInst::load(pc, r1, r2, 0x1000_0000 + (mem & !7), value),
+                4 => DynInst::store(pc, r1, r2, 0x1000_0000 + (mem & !7)),
+                5 => DynInst::branch(pc, r1, taken, 0x40_0000 + (mem % 256) * 4),
+                _ => DynInst::jump(pc, 0x40_0000 + (mem % 256) * 4),
+            }
+        },
+    )
+}
+
+fn engines() -> Vec<Box<dyn VpEngine>> {
+    vec![
+        Box::new(NoVp),
+        Box::new(LocalEngine::stride_8k()),
+        Box::new(HgvqEngine::paper_default()),
+        Box::new(OracleEngine),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulator retires exactly what it is asked to (or the whole
+    /// trace), never deadlocks, and never panics — under every engine.
+    #[test]
+    fn simulator_is_total_on_arbitrary_programs(
+        block in prop::collection::vec(arb_inst(), 8..64),
+        reps in 8usize..40,
+    ) {
+        // Repeat the block so there is enough trace to fill the request.
+        let trace: Vec<DynInst> =
+            block.iter().cycle().take(block.len() * reps).copied().collect();
+        let measure = (trace.len() as u64 / 2).max(8);
+        for engine in engines() {
+            let stats = Simulator::new(PipelineConfig::r10k(), engine)
+                .run(trace.iter().copied(), 4, measure);
+            prop_assert!(stats.retired >= measure.min(trace.len() as u64 - 8));
+            prop_assert!(stats.cycles > 0);
+            // IPC can never exceed the machine width.
+            prop_assert!(stats.ipc() <= 4.0 + 1e-9, "ipc {}", stats.ipc());
+        }
+    }
+
+    /// Value speculation is performance-speculation only: run each engine
+    /// to trace exhaustion (no warm-up, so no retire-width boundary
+    /// effects) — every engine must commit exactly the same instructions.
+    #[test]
+    fn speculation_preserves_architectural_counts(
+        block in prop::collection::vec(arb_inst(), 8..48),
+    ) {
+        let trace: Vec<DynInst> = block.iter().cycle().take(block.len() * 20).copied().collect();
+        let runs: Vec<_> = engines()
+            .into_iter()
+            .map(|e| {
+                Simulator::new(PipelineConfig::r10k(), e)
+                    .run(trace.iter().copied(), 0, u64::MAX)
+            })
+            .collect();
+        for r in &runs {
+            prop_assert_eq!(r.retired, trace.len() as u64, "everything retires");
+        }
+        for w in runs.windows(2) {
+            prop_assert_eq!(w[0].value_producing, w[1].value_producing);
+            prop_assert_eq!(w[0].loads, w[1].loads);
+        }
+    }
+
+    /// The oracle engine is at least as fast as no prediction (it only
+    /// removes stalls, never adds reissues).
+    #[test]
+    fn oracle_never_slows_the_machine(
+        block in prop::collection::vec(arb_inst(), 8..48),
+    ) {
+        let trace: Vec<DynInst> = block.iter().cycle().take(block.len() * 30).copied().collect();
+        let measure = trace.len() as u64 / 2;
+        let base = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp))
+            .run(trace.iter().copied(), 4, measure);
+        let oracle = Simulator::new(PipelineConfig::r10k(), Box::new(OracleEngine))
+            .run(trace.iter().copied(), 4, measure);
+        prop_assert_eq!(oracle.reissues, 0, "perfect predictions never reissue");
+        prop_assert!(
+            oracle.cycles <= base.cycles + base.cycles / 50 + 8,
+            "oracle {} vs base {}",
+            oracle.cycles,
+            base.cycles
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Previous-instruction (order-1 global context) predictor.
+
+use crate::{Capacity, PcTable, ValuePredictor};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PiEntry {
+    prev: u64,
+    value: u64,
+    valid: bool,
+}
+
+/// The previous-instruction (PI) predictor of Nakra, Gupta and Soffa
+/// (HPCA-5) — the first scheme to exploit the *global* value history, which
+/// the paper characterizes as an order-1 global **context** predictor.
+///
+/// Per PC it remembers one association: "last time, when the immediately
+/// preceding dynamic instruction produced `prev`, this instruction produced
+/// `value`". A prediction is only offered when the current global last
+/// value matches the recorded context.
+///
+/// Unlike the purely local predictors, the PI predictor must observe the
+/// whole dynamic value stream: call [`update`](ValuePredictor::update) for
+/// *every* value-producing instruction, in order.
+///
+/// # Examples
+///
+/// ```
+/// use predictors::{Capacity, PiPredictor, ValuePredictor};
+///
+/// let mut p = PiPredictor::new(Capacity::Unbounded);
+/// // Instruction B always produces 7 right after A produces 3.
+/// for _ in 0..2 {
+///     p.update(0xa0, 3); // A
+///     p.update(0xb0, 7); // B
+/// }
+/// p.update(0xa0, 3);
+/// assert_eq!(p.predict(0xb0), Some(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PiPredictor {
+    table: PcTable<PiEntry>,
+    global_last: Option<u64>,
+}
+
+impl PiPredictor {
+    /// Creates a PI predictor with the given table capacity.
+    pub fn new(capacity: Capacity) -> Self {
+        PiPredictor { table: PcTable::new(capacity), global_last: None }
+    }
+
+    /// The most recent value in the global stream, if any.
+    pub fn global_last(&self) -> Option<u64> {
+        self.global_last
+    }
+}
+
+impl ValuePredictor for PiPredictor {
+    fn predict(&mut self, pc: u64) -> Option<u64> {
+        let global_last = self.global_last?;
+        let e = self.table.entry_shared(pc);
+        if e.valid && e.prev == global_last {
+            Some(e.value)
+        } else {
+            None
+        }
+    }
+
+    fn update(&mut self, pc: u64, actual: u64) {
+        if let Some(g) = self.global_last {
+            let e = self.table.entry_shared(pc);
+            e.prev = g;
+            e.value = actual;
+            e.valid = true;
+        }
+        self.global_last = Some(actual);
+    }
+
+    fn name(&self) -> &'static str {
+        "pi-global-context"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requires_matching_context() {
+        let mut p = PiPredictor::new(Capacity::Unbounded);
+        p.update(0xa0, 3);
+        p.update(0xb0, 7);
+        p.update(0xa0, 4); // different context value
+        assert_eq!(p.predict(0xb0), None);
+    }
+
+    #[test]
+    fn tracks_global_not_local_order() {
+        let mut p = PiPredictor::new(Capacity::Unbounded);
+        p.update(0xa0, 1);
+        p.update(0xc0, 100); // an interloper breaks adjacency
+        p.update(0xb0, 2);
+        // b's recorded context is c's value, not a's.
+        p.update(0xc0, 100);
+        assert_eq!(p.predict(0xb0), Some(2));
+    }
+
+    #[test]
+    fn cold_predictor_is_silent() {
+        let mut p = PiPredictor::new(Capacity::Unbounded);
+        assert_eq!(p.predict(0), None);
+        p.update(0, 1);
+        assert_eq!(p.global_last(), Some(1));
+    }
+
+    #[test]
+    fn correlated_pair_with_varying_values_still_misses() {
+        // PI is a *context* scheme: if A's value changes every time, B is
+        // unpredictable even though B = A + 4 (a stride relation gDiff
+        // catches). This is the gap the paper's computational model fills.
+        let mut p = PiPredictor::new(Capacity::Unbounded);
+        let mut hits = 0;
+        for i in 0..50u64 {
+            p.update(0xa0, i * 3);
+            if p.predict(0xb0) == Some(i * 3 + 4) {
+                hits += 1;
+            }
+            p.update(0xb0, i * 3 + 4);
+        }
+        assert_eq!(hits, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Accuracy / coverage accounting shared by all experiments.
+
+use std::fmt;
+
+/// Accuracy and coverage accounting for one predictor over one value stream.
+///
+/// The paper reports two families of numbers:
+///
+/// * **ungated** accuracy — correct predictions over all value-producing
+///   instructions (used in the §3 profile studies, Figures 8 and 10);
+/// * **confidence-gated** accuracy and **coverage** — accuracy over
+///   *confident* predictions only, and the fraction of value-producing
+///   instructions that received a confident prediction (Figures 13, 16, 18).
+///
+/// `PredictorStats` tracks everything needed for both.
+///
+/// # Examples
+///
+/// ```
+/// use predictors::PredictorStats;
+///
+/// let mut s = PredictorStats::default();
+/// s.record(Some(5), true, 5);  // confident, correct
+/// s.record(Some(6), false, 7); // not confident, wrong
+/// s.record(None, false, 1);    // no prediction at all
+/// assert_eq!(s.total(), 3);
+/// assert_eq!(s.coverage(), 1.0 / 3.0);
+/// assert_eq!(s.gated_accuracy(), 1.0);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorStats {
+    total: u64,
+    predicted: u64,
+    correct: u64,
+    confident: u64,
+    confident_correct: u64,
+}
+
+impl PredictorStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value-producing instruction.
+    ///
+    /// `predicted` is the predictor's output (if any), `confident` whether
+    /// the confidence mechanism endorsed it, and `actual` the value the
+    /// instruction really produced.
+    pub fn record(&mut self, predicted: Option<u64>, confident: bool, actual: u64) {
+        self.total += 1;
+        if let Some(p) = predicted {
+            self.predicted += 1;
+            let ok = p == actual;
+            if ok {
+                self.correct += 1;
+            }
+            if confident {
+                self.confident += 1;
+                if ok {
+                    self.confident_correct += 1;
+                }
+            }
+        }
+    }
+
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: &PredictorStats) {
+        self.total += other.total;
+        self.predicted += other.predicted;
+        self.correct += other.correct;
+        self.confident += other.confident;
+        self.confident_correct += other.confident_correct;
+    }
+
+    /// Total value-producing instructions observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Instructions for which the predictor produced *any* value.
+    pub fn predicted(&self) -> u64 {
+        self.predicted
+    }
+
+    /// Correct predictions regardless of confidence.
+    pub fn correct(&self) -> u64 {
+        self.correct
+    }
+
+    /// Confident predictions made.
+    pub fn confident(&self) -> u64 {
+        self.confident
+    }
+
+    /// Confident predictions that were correct.
+    pub fn confident_correct(&self) -> u64 {
+        self.confident_correct
+    }
+
+    /// Ungated accuracy: `correct / total` (the §3 profile metric, where
+    /// every value-producing instruction is predicted).
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.correct, self.total)
+    }
+
+    /// Accuracy over the predictions actually made: `correct / predicted`.
+    pub fn accuracy_of_predicted(&self) -> f64 {
+        ratio(self.correct, self.predicted)
+    }
+
+    /// Confidence-gated accuracy: `confident_correct / confident`.
+    pub fn gated_accuracy(&self) -> f64 {
+        ratio(self.confident_correct, self.confident)
+    }
+
+    /// Coverage: `confident / total` — the fraction of value-producing
+    /// instructions that received a confident prediction.
+    pub fn coverage(&self) -> f64 {
+        ratio(self.confident, self.total)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for PredictorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "acc {:5.1}% | gated acc {:5.1}% cov {:5.1}% | n={}",
+            100.0 * self.accuracy(),
+            100.0 * self.gated_accuracy(),
+            100.0 * self.coverage(),
+            self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = PredictorStats::new();
+        assert_eq!(s.accuracy(), 0.0);
+        assert_eq!(s.gated_accuracy(), 0.0);
+        assert_eq!(s.coverage(), 0.0);
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn counters_track_each_case() {
+        let mut s = PredictorStats::new();
+        s.record(Some(1), true, 1); // confident correct
+        s.record(Some(2), true, 3); // confident wrong
+        s.record(Some(4), false, 4); // unconfident correct
+        s.record(None, false, 9); // no prediction
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.predicted(), 3);
+        assert_eq!(s.correct(), 2);
+        assert_eq!(s.confident(), 2);
+        assert_eq!(s.confident_correct(), 1);
+        assert_eq!(s.accuracy(), 0.5);
+        assert_eq!(s.accuracy_of_predicted(), 2.0 / 3.0);
+        assert_eq!(s.gated_accuracy(), 0.5);
+        assert_eq!(s.coverage(), 0.5);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = PredictorStats::new();
+        a.record(Some(1), true, 1);
+        let mut b = PredictorStats::new();
+        b.record(None, false, 2);
+        b.record(Some(3), true, 0);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.confident(), 2);
+        assert_eq!(a.confident_correct(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = PredictorStats::new();
+        assert!(!format!("{s}").is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! PC-indexed prediction tables.
+//!
+//! Every predictor in the paper is driven by a PC-indexed table. The paper
+//! studies both *unlimited* tables (for the locality studies of §3) and
+//! bounded, **tagless, direct-mapped** tables (8K entries for value
+//! prediction, 4K for address prediction). Because bounded tables are
+//! tagless, two static instructions can share an entry; the paper calls an
+//! access that finds its entry last touched by a different instruction a
+//! *conflict* and reports the conflict-miss rate in Figure 9.
+//!
+//! [`PcTable`] implements both flavours behind one interface and keeps the
+//! conflict accounting needed to regenerate Figure 9.
+
+use std::collections::HashMap;
+
+/// The capacity policy of a [`PcTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capacity {
+    /// One private entry per static instruction (the paper's "unlimited
+    /// table"); no aliasing is possible.
+    Unbounded,
+    /// A tagless, direct-mapped table with the given number of entries.
+    ///
+    /// The entry index is `(pc >> 2) & (entries - 1)`, discarding the two
+    /// low bits that are always zero for word-aligned instructions.
+    Entries(usize),
+}
+
+impl Capacity {
+    /// Number of entries, or `None` for [`Capacity::Unbounded`].
+    pub fn entries(self) -> Option<usize> {
+        match self {
+            Capacity::Unbounded => None,
+            Capacity::Entries(n) => Some(n),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<E> {
+    owner: u64,
+    data: E,
+}
+
+#[derive(Debug, Clone)]
+enum Storage<E> {
+    Unbounded(HashMap<u64, E>),
+    Direct(Vec<Option<Slot<E>>>),
+}
+
+/// A PC-indexed prediction table with aliasing accounting.
+///
+/// `PcTable` is the storage substrate shared by every predictor in this
+/// workspace. In bounded mode it behaves like the paper's tagless tables: a
+/// lookup never misses, but the entry found may have last been trained by a
+/// different instruction. The table records such *conflicts* so experiments
+/// can report the Figure 9 conflict-miss rate via
+/// [`conflict_rate`](Self::conflict_rate).
+///
+/// # Examples
+///
+/// ```
+/// use predictors::{Capacity, PcTable};
+///
+/// let mut t: PcTable<u64> = PcTable::new(Capacity::Entries(4));
+/// *t.entry_shared(0x1000) = 7;
+/// // 0x1000 and 0x1040 collide in a 4-entry table (same index bits); a
+/// // tagless table hands out the aliased state and counts the conflict.
+/// assert_eq!(*t.entry_shared(0x1040), 7);
+/// assert_eq!(t.conflicts(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcTable<E> {
+    storage: Storage<E>,
+    accesses: u64,
+    conflicts: u64,
+}
+
+impl<E: Default> PcTable<E> {
+    /// Creates an empty table with the given capacity policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bounded capacity is zero or not a power of two (the
+    /// index is computed with a bit mask, as in hardware).
+    pub fn new(capacity: Capacity) -> Self {
+        let storage = match capacity {
+            Capacity::Unbounded => Storage::Unbounded(HashMap::new()),
+            Capacity::Entries(n) => {
+                assert!(n > 0 && n.is_power_of_two(), "table entries must be a nonzero power of two");
+                let mut v = Vec::new();
+                v.resize_with(n, || None);
+                Storage::Direct(v)
+            }
+        };
+        PcTable { storage, accesses: 0, conflicts: 0 }
+    }
+
+    /// Returns the entry for `pc`, creating a default entry on first touch.
+    ///
+    /// In bounded mode, if the slot was last owned by a different PC the
+    /// access is counted as a conflict and the slot is re-initialized to
+    /// `E::default()` before being returned (a tagless table simply reuses
+    /// whatever state is there; re-initializing models the destructive
+    /// interference the paper measures — see also
+    /// [`entry_shared`](Self::entry_shared) which preserves the state).
+    pub fn entry(&mut self, pc: u64) -> &mut E {
+        self.access(pc, true)
+    }
+
+    /// Like [`entry`](Self::entry) but *keeps* the aliased state on a
+    /// conflict, exactly as tagless hardware would.
+    ///
+    /// Conflicts are still counted. This is the accessor predictors use;
+    /// [`entry`](Self::entry) is a stricter variant useful in tests.
+    pub fn entry_shared(&mut self, pc: u64) -> &mut E {
+        self.access(pc, false)
+    }
+
+    fn access(&mut self, pc: u64, reset_on_conflict: bool) -> &mut E {
+        self.accesses += 1;
+        match &mut self.storage {
+            Storage::Unbounded(map) => map.entry(pc).or_default(),
+            Storage::Direct(vec) => {
+                let idx = (pc >> 2) as usize & (vec.len() - 1);
+                let slot = &mut vec[idx];
+                match slot {
+                    Some(s) if s.owner == pc => {}
+                    Some(s) => {
+                        self.conflicts += 1;
+                        s.owner = pc;
+                        if reset_on_conflict {
+                            s.data = E::default();
+                        }
+                    }
+                    None => {
+                        *slot = Some(Slot { owner: pc, data: E::default() });
+                    }
+                }
+                &mut slot.as_mut().expect("slot populated above").data
+            }
+        }
+    }
+
+    /// Read-only lookup that does not allocate, count, or disturb ownership.
+    pub fn peek(&self, pc: u64) -> Option<&E> {
+        match &self.storage {
+            Storage::Unbounded(map) => map.get(&pc),
+            Storage::Direct(vec) => {
+                let idx = (pc >> 2) as usize & (vec.len() - 1);
+                vec[idx].as_ref().map(|s| &s.data)
+            }
+        }
+    }
+
+    /// Total number of accesses made through [`entry`](Self::entry) /
+    /// [`entry_shared`](Self::entry_shared).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Number of accesses that found their slot owned by a different PC.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Fraction of accesses that conflicted (the paper's Figure 9 metric).
+    ///
+    /// Returns `0.0` before any access.
+    pub fn conflict_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / self.accesses as f64
+        }
+    }
+
+    /// Number of distinct live entries (unbounded) or occupied slots
+    /// (bounded).
+    pub fn len(&self) -> usize {
+        match &self.storage {
+            Storage::Unbounded(map) => map.len(),
+            Storage::Direct(vec) => vec.iter().filter(|s| s.is_some()).count(),
+        }
+    }
+
+    /// Whether the table holds no entries yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_conflicts() {
+        let mut t: PcTable<u64> = PcTable::new(Capacity::Unbounded);
+        for pc in (0..1000u64).map(|i| i * 4) {
+            *t.entry(pc) = pc;
+        }
+        for pc in (0..1000u64).map(|i| i * 4) {
+            assert_eq!(*t.entry(pc), pc);
+        }
+        assert_eq!(t.conflicts(), 0);
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.accesses(), 2000);
+    }
+
+    #[test]
+    fn direct_mapped_counts_conflicts() {
+        let mut t: PcTable<u64> = PcTable::new(Capacity::Entries(2));
+        *t.entry(0x0) = 1; // index 0
+        *t.entry(0x4) = 2; // index 1
+        *t.entry(0x8) = 3; // index 0 again -> conflict with 0x0
+        assert_eq!(t.conflicts(), 1);
+        *t.entry(0x8) = 4; // now owns index 0, no conflict
+        assert_eq!(t.conflicts(), 1);
+        assert_eq!(t.conflict_rate(), 0.25);
+    }
+
+    #[test]
+    fn entry_resets_on_conflict_but_entry_shared_keeps_state() {
+        let mut t: PcTable<u64> = PcTable::new(Capacity::Entries(1));
+        *t.entry(0x0) = 42;
+        assert_eq!(*t.entry_shared(0x4), 42); // aliased state preserved
+        assert_eq!(t.conflicts(), 1);
+        *t.entry_shared(0x4) = 43;
+        assert_eq!(*t.entry(0x0), 0); // strict accessor resets
+        assert_eq!(t.conflicts(), 2);
+    }
+
+    #[test]
+    fn peek_is_nonintrusive() {
+        let mut t: PcTable<u64> = PcTable::new(Capacity::Entries(2));
+        assert!(t.peek(0x0).is_none());
+        *t.entry(0x0) = 9;
+        assert_eq!(t.peek(0x0), Some(&9));
+        // peek at an aliasing pc sees the same slot but does not count a
+        // conflict or steal ownership
+        assert_eq!(t.peek(0x8), Some(&9));
+        assert_eq!(t.conflicts(), 0);
+        assert_eq!(*t.entry(0x0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _t: PcTable<u64> = PcTable::new(Capacity::Entries(3));
+    }
+
+    #[test]
+    fn capacity_entries_accessor() {
+        assert_eq!(Capacity::Unbounded.entries(), None);
+        assert_eq!(Capacity::Entries(8).entries(), Some(8));
+    }
+}

@@ -1,0 +1,204 @@
+//! The dynamic instruction record consumed by predictors and the pipeline.
+
+use std::fmt;
+
+/// Operation class of a dynamic instruction, with R10000-like latency
+/// classes (Table 1: integer ALU 1 cycle, complex ops at R10000 latencies,
+/// loads 1-cycle address generation + memory access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Simple integer ALU operation (1 cycle).
+    IntAlu,
+    /// Integer multiply (6 cycles, MIPS R10000).
+    IntMul,
+    /// Integer divide (35 cycles, MIPS R10000).
+    IntDiv,
+    /// Memory load (1 cycle address generation + cache access).
+    Load,
+    /// Memory store (1 cycle address generation; retires without a value).
+    Store,
+    /// Conditional branch (1 cycle; resolves at execute).
+    Branch,
+    /// Unconditional jump/call/return (1 cycle; target from the BTB/RAS).
+    Jump,
+}
+
+impl OpClass {
+    /// Execution latency in cycles, excluding memory access time.
+    pub fn latency(self) -> u64 {
+        match self {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Jump | OpClass::Store => 1,
+            OpClass::Load => 1, // address generation; the cache adds the rest
+            OpClass::IntMul => 6,
+            OpClass::IntDiv => 35,
+        }
+    }
+}
+
+/// One dynamic instruction of a workload trace.
+///
+/// A trace-driven simulator knows each instruction's outcome up front: the
+/// value it produced, the address it touched, the branch direction it took.
+/// The *timing* of those events is what the pipeline model computes; the
+/// predictors are trained on the recorded outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynInst {
+    /// The instruction's address (word aligned).
+    pub pc: u64,
+    /// Operation class.
+    pub op: OpClass,
+    /// Destination architectural register, if the instruction produces a
+    /// value.
+    pub dst: Option<u8>,
+    /// Source architectural registers (up to two).
+    pub srcs: [Option<u8>; 2],
+    /// The value produced (destination value; meaningless when `dst` is
+    /// `None`).
+    pub value: u64,
+    /// Effective address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Whether a branch was taken (always `true` for jumps).
+    pub taken: bool,
+    /// Branch/jump target (0 when not a control instruction).
+    pub target: u64,
+}
+
+impl DynInst {
+    /// An ALU operation producing `value` into `dst`.
+    pub fn alu(pc: u64, dst: u8, srcs: [Option<u8>; 2], value: u64) -> Self {
+        DynInst { pc, op: OpClass::IntAlu, dst: Some(dst), srcs, value, mem_addr: None, taken: false, target: 0 }
+    }
+
+    /// A multiply producing `value` into `dst`.
+    pub fn mul(pc: u64, dst: u8, srcs: [Option<u8>; 2], value: u64) -> Self {
+        DynInst { op: OpClass::IntMul, ..Self::alu(pc, dst, srcs, value) }
+    }
+
+    /// A load from `addr` (base register `base`) producing `value`.
+    pub fn load(pc: u64, dst: u8, base: u8, addr: u64, value: u64) -> Self {
+        DynInst {
+            pc,
+            op: OpClass::Load,
+            dst: Some(dst),
+            srcs: [Some(base), None],
+            value,
+            mem_addr: Some(addr),
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A store of register `data` to `addr` (base register `base`).
+    pub fn store(pc: u64, data: u8, base: u8, addr: u64) -> Self {
+        DynInst {
+            pc,
+            op: OpClass::Store,
+            dst: None,
+            srcs: [Some(data), Some(base)],
+            value: 0,
+            mem_addr: Some(addr),
+            taken: false,
+            target: 0,
+        }
+    }
+
+    /// A conditional branch on register `cond`.
+    pub fn branch(pc: u64, cond: u8, taken: bool, target: u64) -> Self {
+        DynInst {
+            pc,
+            op: OpClass::Branch,
+            dst: None,
+            srcs: [Some(cond), None],
+            value: 0,
+            mem_addr: None,
+            taken,
+            target,
+        }
+    }
+
+    /// An unconditional jump (call/return) to `target`.
+    pub fn jump(pc: u64, target: u64) -> Self {
+        DynInst {
+            pc,
+            op: OpClass::Jump,
+            dst: None,
+            srcs: [None, None],
+            value: 0,
+            mem_addr: None,
+            taken: true,
+            target,
+        }
+    }
+
+    /// Whether this instruction produces a register value — the population
+    /// the paper's "all value producing instructions" metrics cover
+    /// (integer operations and loads; stores and branches excluded).
+    pub fn produces_value(&self) -> bool {
+        self.dst.is_some()
+    }
+
+    /// Whether this is a control-flow instruction.
+    pub fn is_control(&self) -> bool {
+        matches!(self.op, OpClass::Branch | OpClass::Jump)
+    }
+
+    /// Whether this is a memory access.
+    pub fn is_mem(&self) -> bool {
+        self.mem_addr.is_some()
+    }
+}
+
+impl fmt::Display for DynInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x} {:?}", self.pc, self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " r{d} <- {:#x}", self.value)?;
+        }
+        if let Some(a) = self.mem_addr {
+            write!(f, " @{a:#x}")?;
+        }
+        if self.is_control() {
+            write!(f, " {} -> {:#x}", if self.taken { "T" } else { "N" }, self.target)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_classify_correctly() {
+        let a = DynInst::alu(0x40, 3, [Some(1), Some(2)], 99);
+        assert!(a.produces_value() && !a.is_mem() && !a.is_control());
+
+        let l = DynInst::load(0x44, 4, 29, 0x7fff_0000, 5);
+        assert!(l.produces_value() && l.is_mem());
+        assert_eq!(l.mem_addr, Some(0x7fff_0000));
+
+        let s = DynInst::store(0x48, 4, 29, 0x7fff_0000);
+        assert!(!s.produces_value() && s.is_mem());
+
+        let b = DynInst::branch(0x4c, 4, true, 0x40);
+        assert!(!b.produces_value() && b.is_control());
+
+        let j = DynInst::jump(0x50, 0x100);
+        assert!(j.taken && j.is_control());
+    }
+
+    #[test]
+    fn latencies_match_table1() {
+        assert_eq!(OpClass::IntAlu.latency(), 1);
+        assert_eq!(OpClass::IntMul.latency(), 6);
+        assert_eq!(OpClass::IntDiv.latency(), 35);
+        assert_eq!(OpClass::Load.latency(), 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let l = DynInst::load(0x44, 4, 29, 0x1000, 5);
+        let s = format!("{l}");
+        assert!(s.contains("Load") && s.contains("0x1000"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Data-dependent branch kernel: the execution-variation stressor.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::{Kernel, KernelSlot};
+use crate::DynInst;
+
+/// Emits a short compare-and-branch block whose direction is random with a
+/// configurable bias.
+///
+/// In the §4 pipeline experiments, branch mispredictions are one of the two
+/// sources of execution variation that disturb the speculative global value
+/// queue; this kernel controls how much of that variation a benchmark
+/// exhibits.
+#[derive(Debug)]
+pub struct BranchyKernel {
+    slot: KernelSlot,
+    taken_prob: f64,
+    counter: u64,
+}
+
+impl BranchyKernel {
+    /// Creates a kernel whose branch is taken with probability
+    /// `taken_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taken_prob` is not in `0.0..=1.0`.
+    pub fn new(slot: KernelSlot, taken_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&taken_prob), "probability");
+        BranchyKernel { slot, taken_prob, counter: 0 }
+    }
+}
+
+impl Kernel for BranchyKernel {
+    fn emit(&mut self, out: &mut Vec<DynInst>, rng: &mut SmallRng) {
+        let s = self.slot;
+        self.counter += 1;
+        let taken = rng.gen_bool(self.taken_prob);
+        // the comparison operand (a value-producing ALU op)
+        out.push(DynInst::alu(s.pc(0), s.reg(0), [Some(s.reg(0)), None], self.counter));
+        out.push(DynInst::branch(s.pc(1), s.reg(0), taken, s.pc(4)));
+        // fall-through work on the not-taken path
+        if !taken {
+            out.push(DynInst::alu(s.pc(2), s.reg(1), [Some(s.reg(0)), None], self.counter * 2));
+            out.push(DynInst::jump(s.pc(3), s.pc(4)));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "branchy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::run_kernel;
+    use super::*;
+
+    #[test]
+    fn taken_rate_follows_probability() {
+        let mut k = BranchyKernel::new(KernelSlot::for_site(0), 0.7);
+        let trace = run_kernel(&mut k, 2000);
+        let branches: Vec<bool> = trace
+            .iter()
+            .filter(|i| i.op == crate::OpClass::Branch)
+            .map(|i| i.taken)
+            .collect();
+        let rate = branches.iter().filter(|&&t| t).count() as f64 / branches.len() as f64;
+        assert!((rate - 0.7).abs() < 0.05, "{rate}");
+    }
+
+    #[test]
+    fn not_taken_path_emits_extra_work() {
+        let mut k = BranchyKernel::new(KernelSlot::for_site(0), 0.0);
+        let trace = run_kernel(&mut k, 3);
+        // always not-taken: alu + branch + alu + jump per invocation
+        assert_eq!(trace.len(), 12);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = run_kernel(&mut BranchyKernel::new(KernelSlot::for_site(0), 0.5), 50);
+        let b = run_kernel(&mut BranchyKernel::new(KernelSlot::for_site(0), 0.5), 50);
+        assert_eq!(a, b);
+    }
+}

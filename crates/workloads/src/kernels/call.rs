@@ -1,0 +1,186 @@
+//! Function call kernel: callee-save spill/fill through the stack.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::{mix64, Kernel, KernelSlot};
+use crate::DynInst;
+
+/// A function call with a prologue that saves callee-saved registers and an
+/// epilogue that restores them — the register spilling the paper's Figure 2
+/// traces back to.
+///
+/// Per invocation (one of two call sites, chosen per call — so the
+/// restore's local value sequence merges two streams, as in Figure 2):
+///
+/// ```text
+/// s0 = <caller's live value>   // def (pc 0 at site A, pc 1 at site B)
+/// jal  f                       // call (pc 2)
+/// ra = <link>                  // (pc 3)
+/// sw   s0 -> [sp+0]            // prologue: save
+/// sw   ra -> [sp+8]
+/// <body: body_len ALU ops>
+/// lw   s0 <- [sp+0]            // epilogue: restore (== the def's value)
+/// lw   ra <- [sp+8]
+/// jr   ra                      // return
+/// ```
+///
+/// The restore loads re-produce values defined a constant distance earlier
+/// in the global stream — global stride locality with stride 0 — while
+/// being poorly predictable locally whenever the saved register's value
+/// changes between calls.
+#[derive(Debug)]
+pub struct CallKernel {
+    slot: KernelSlot,
+    body_len: usize,
+    s0: [u64; 2],
+    locally_hard: bool,
+    depth: u64,
+    dir: i64,
+}
+
+impl CallKernel {
+    /// Creates a call kernel with `body_len` ALU instructions between the
+    /// save and restore.
+    ///
+    /// `locally_hard` controls whether the saved value is unpredictable
+    /// between calls (`true`: random evolution — local predictors fail on
+    /// the restores) or a simple counter (`false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body_len > 16`.
+    pub fn new(slot: KernelSlot, body_len: usize, locally_hard: bool) -> Self {
+        assert!(body_len <= 16, "body too long");
+        CallKernel { slot, body_len, s0: [0xbeef, 0xf00d], locally_hard, depth: 6, dir: 1 }
+    }
+
+    /// PC of the `s0` restore load (useful for per-instruction analyses).
+    pub fn restore_pc(&self) -> u64 {
+        self.slot.pc(6 + self.body_len as u64)
+    }
+}
+
+impl Kernel for CallKernel {
+    fn emit(&mut self, out: &mut Vec<DynInst>, rng: &mut SmallRng) {
+        let s = self.slot;
+        self.depth = {
+            // sticky random walk: call depth trends in one direction for a
+            // while (phasic call behaviour), reversing rarely
+            let d = self.depth as i64 + if rng.gen_bool(0.85) { self.dir } else { self.dir = -self.dir; self.dir };
+            d.clamp(0, 12) as u64
+        };
+        let sp = s.mem_base + 0xF000 + self.depth * 64;
+        let (r_s0, r_ra, r_sp, r_t) = (s.reg(0), s.reg(1), s.reg(6), s.reg(2));
+        let site = (rng.gen::<u8>() & 1) as usize;
+        self.s0[site] =
+            if self.locally_hard { mix64(self.s0[site] ^ rng.gen::<u64>()) } else { self.s0[site] + 1 };
+        let s0 = self.s0[site];
+        let ra = s.pc(site as u64);
+
+        // def: the caller's live value (one of two call sites).
+        out.push(DynInst::alu(s.pc(site as u64), r_s0, [Some(r_s0), None], s0));
+        let mut pc = 2u64;
+        out.push(DynInst::jump(s.pc(pc), s.pc(4))); // call
+        pc += 1;
+        out.push(DynInst::alu(s.pc(pc), r_ra, [None, None], ra)); // ra = link
+        pc += 1;
+        out.push(DynInst::store(s.pc(pc), r_s0, r_sp, sp)); // save s0
+        pc += 1;
+        out.push(DynInst::store(s.pc(pc), r_ra, r_sp, sp + 8)); // save ra
+        pc += 1;
+        // body
+        let mut acc = s0;
+        for i in 0..self.body_len {
+            acc = acc.wrapping_add(16 + i as u64);
+            out.push(DynInst::alu(s.pc(pc), r_t, [Some(r_t), None], acc));
+            pc += 1;
+        }
+        // epilogue: restores (global stride-0 at a constant distance).
+        out.push(DynInst::load(s.pc(pc), r_s0, r_sp, sp, s0));
+        pc += 1;
+        out.push(DynInst::load(s.pc(pc), r_ra, r_sp, sp + 8, ra));
+        pc += 1;
+        out.push(DynInst::jump(s.pc(pc), ra)); // return
+    }
+
+    fn name(&self) -> &'static str {
+        "call"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{gdiff_accuracy_at, run_kernel, score};
+    use super::*;
+    use predictors::{Capacity, StridePredictor};
+
+    #[test]
+    fn restore_reproduces_saved_value() {
+        let mut k = CallKernel::new(KernelSlot::for_site(0), 4, true);
+        let restore_pc = k.restore_pc();
+        let trace = run_kernel(&mut k, 10);
+        let s = KernelSlot::for_site(0);
+        let defs: Vec<u64> = trace
+            .iter()
+            .filter(|i| i.pc <= s.pc(1) && i.produces_value())
+            .map(|i| i.value)
+            .collect();
+        let restores: Vec<u64> =
+            trace.iter().filter(|i| i.pc == restore_pc).map(|i| i.value).collect();
+        assert_eq!(defs, restores);
+    }
+
+    #[test]
+    fn hard_saved_values_defeat_local_but_not_gdiff() {
+        let mut k = CallKernel::new(KernelSlot::for_site(0), 4, true);
+        let restore_pc = k.restore_pc();
+        let trace = run_kernel(&mut k, 300);
+        let restores: Vec<crate::DynInst> =
+            trace.iter().filter(|i| i.pc == restore_pc).copied().collect();
+        let mut st = StridePredictor::new(Capacity::Unbounded);
+        assert!(score(&restores, &mut st) < 0.05, "restores are locally hard");
+        // Value producers between def and restore: ra + 4 body ops, so the
+        // restore correlates with the def at distance 6 — within order 8.
+        let acc = gdiff_accuracy_at(&trace, restore_pc, 8);
+        assert!(acc > 0.9, "gdiff catches the spill/fill: {acc}");
+    }
+
+    #[test]
+    fn easy_saved_values_are_stride_predictable() {
+        let mut k = CallKernel::new(KernelSlot::for_site(0), 2, false);
+        let trace = run_kernel(&mut k, 100);
+        // Each call site's live value is a counter: the defines are
+        // stride predictable per site.
+        let s = KernelSlot::for_site(0);
+        let defs: Vec<crate::DynInst> =
+            trace.iter().filter(|i| i.pc <= s.pc(1) && i.produces_value()).copied().collect();
+        let mut st = StridePredictor::new(Capacity::Unbounded);
+        assert!(score(&defs, &mut st) > 0.9);
+    }
+
+    #[test]
+    fn return_jumps_to_link_address() {
+        let mut k = CallKernel::new(KernelSlot::for_site(0), 1, false);
+        let trace = run_kernel(&mut k, 2);
+        let s = KernelSlot::for_site(0);
+        let rets: Vec<u64> = trace
+            .iter()
+            .filter(|i| i.op == crate::OpClass::Jump && i.pc != s.pc(2))
+            .map(|i| i.target)
+            .collect();
+        assert_eq!(rets.len(), 2);
+        assert!(rets.iter().all(|&t| t == s.pc(0) || t == s.pc(1)));
+    }
+
+    #[test]
+    fn static_pcs_are_stable_across_invocations() {
+        let mut k = CallKernel::new(KernelSlot::for_site(0), 3, true);
+        let t1 = run_kernel(&mut k, 1);
+        let mut k2 = CallKernel::new(KernelSlot::for_site(0), 3, true);
+        let t2 = run_kernel(&mut k2, 1);
+        let pcs1: Vec<u64> = t1.iter().map(|i| i.pc).collect();
+        let pcs2: Vec<u64> = t2.iter().map(|i| i.pc).collect();
+        assert_eq!(pcs1, pcs2);
+    }
+}

@@ -1,0 +1,257 @@
+//! Linked-structure traversal: the Figure 4 idiom and the mcf memory
+//! behaviour.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::{mix64, Kernel, KernelSlot};
+use crate::DynInst;
+
+/// What the payload field of each node holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// A pointer into a second arena allocated in step with the nodes —
+    /// Figure 4's `->string` field, giving a near-constant stride between
+    /// the two load *addresses and values*.
+    CoAllocated,
+    /// Incompressible per-node data.
+    Random,
+}
+
+/// Traverses a linked list whose nodes were bump-allocated in traversal
+/// order, as dynamic memory allocators tend to produce (the paper cites
+/// Serrano & Wu \[26\]).
+///
+/// Per invocation it emits:
+///
+/// ```text
+/// ld rN = [rP + 0]     // next pointer: value = rP + node_size (mostly)
+/// ld rS = [rP + 8]     // payload (Figure 4's ->string)
+/// ld rD = [rS + 0]     // dereference the payload pointer
+/// bne …                // continue
+/// ```
+///
+/// Because allocation order matches traversal order, the next-pointer load
+/// has a near-constant stride in both value and address, and the payload
+/// address is a constant offset from the just-loaded next pointer — global
+/// stride locality at distance 1. A configurable fraction of allocation
+/// *jitter* models freed/reused holes, and a large `nodes` count gives the
+/// mcf-like data-cache footprint.
+#[derive(Debug)]
+pub struct PointerChaseKernel {
+    slot: KernelSlot,
+    node_size: u64,
+    nodes: Vec<u64>,
+    payloads: Vec<u64>,
+    payload: PayloadKind,
+    pos: usize,
+    burst: u64,
+    pad: u64,
+    churn: f64,
+    arena_top: u64,
+}
+
+impl PointerChaseKernel {
+    /// Creates a chase over `n_nodes` nodes of `node_size` bytes with
+    /// allocation jitter probability `jitter` (0.0 = perfectly regular).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes < 2`, `node_size` is zero, or `jitter` is not in
+    /// `0.0..=1.0`.
+    pub fn new(
+        slot: KernelSlot,
+        n_nodes: usize,
+        node_size: u64,
+        jitter: f64,
+        payload: PayloadKind,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert!(n_nodes >= 2, "need at least two nodes");
+        assert!(node_size > 0, "node size must be nonzero");
+        assert!((0.0..=1.0).contains(&jitter), "jitter is a probability");
+        let mut addr = slot.mem_base;
+        let mut paddr = slot.mem_base + 0x80_0000;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut payloads = Vec::with_capacity(n_nodes);
+        for i in 0..n_nodes {
+            if rng.gen_bool(jitter) {
+                // a freed hole was skipped by the allocator; hole sizes are
+                // arbitrary (continuous alphabet), as real heaps produce
+                addr += 8 * rng.gen_range(1..200);
+            }
+            nodes.push(addr);
+            addr += node_size;
+            payloads.push(match payload {
+                PayloadKind::CoAllocated => paddr,
+                PayloadKind::Random => slot.mem_base + (mix64(i as u64) & 0x7f_fff8),
+            });
+            paddr += 32; // strings allocated in step
+        }
+        PointerChaseKernel {
+            slot,
+            node_size,
+            nodes,
+            payloads,
+            payload,
+            pos: 0,
+            burst: 1,
+            pad: 0,
+            churn: 0.0,
+            arena_top: paddr,
+        }
+    }
+
+    /// Sets the per-hop probability that the *next* node's payload string
+    /// is reallocated (moved in the arena). Churn makes the address
+    /// transition from a node to its payload go stale — the
+    /// tag-hit-but-wrong behaviour that caps Markov predictor accuracy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `churn` is not in `0.0..=1.0`.
+    pub fn with_payload_churn(mut self, churn: f64) -> Self {
+        assert!((0.0..=1.0).contains(&churn), "churn is a probability");
+        self.churn = churn;
+        self
+    }
+
+    /// Adds `pad` dependent ALU operations per hop (per-node work).
+    pub fn padded(mut self, pad: u64) -> Self {
+        self.pad = pad;
+        self
+    }
+
+    /// Sets the number of node hops per scheduler visit (tight traversal
+    /// loop). Returns `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero.
+    pub fn with_hops(mut self, burst: u64) -> Self {
+        assert!(burst > 0, "burst must be nonzero");
+        self.burst = burst;
+        self
+    }
+
+    /// The node footprint in bytes (drives cache behaviour).
+    pub fn footprint(&self) -> u64 {
+        self.nodes.len() as u64 * self.node_size
+    }
+}
+
+impl Kernel for PointerChaseKernel {
+    fn emit(&mut self, out: &mut Vec<DynInst>, rng: &mut SmallRng) {
+        let s = self.slot;
+        for it in 0..self.burst {
+            if self.churn > 0.0 && rng.gen_bool(self.churn) {
+                // the next node's string was reallocated
+                let next_pos = (self.pos + 1) % self.nodes.len();
+                self.payloads[next_pos] = self.arena_top;
+                self.arena_top += 32;
+            }
+            let cur = self.nodes[self.pos];
+            let next_pos = (self.pos + 1) % self.nodes.len();
+            let next = self.nodes[next_pos];
+            let payload_ptr = self.payloads[self.pos];
+            let (r_p, r_n, r_s, r_d) = (s.reg(0), s.reg(1), s.reg(2), s.reg(3));
+
+            // ld next: value is the next node's address.
+            out.push(DynInst::load(s.pc(0), r_n, r_p, cur, next));
+            // ld payload pointer (the ->string field).
+            out.push(DynInst::load(s.pc(1), r_s, r_p, cur + 8, payload_ptr));
+            // dereference the payload.
+            let deref = match self.payload {
+                // the string's first field points 16 bytes further into the
+                // co-allocated arena — constant stride from the payload ptr
+                PayloadKind::CoAllocated => payload_ptr + 16,
+                PayloadKind::Random => mix64(payload_ptr),
+            };
+            out.push(DynInst::load(s.pc(2), r_d, r_s, payload_ptr, deref));
+            // advance the cursor (rP = rN).
+            out.push(DynInst::alu(s.pc(3), r_p, [Some(r_n), None], next));
+            // dependent per-node work on the current node address.
+            let r_w = s.reg(5);
+            for j in 0..self.pad {
+                let src = if j == 0 { r_p } else { r_w };
+                out.push(DynInst::alu(
+                    s.pc(5 + j),
+                    r_w,
+                    [Some(src), None],
+                    cur.wrapping_add(8 * (j + 1)),
+                ));
+            }
+            // continue within the burst.
+            out.push(DynInst::branch(s.pc(4), r_n, it + 1 != self.burst, s.pc(0)));
+            self.pos = next_pos;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "pointer-chase"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{gdiff_accuracy_at, run_kernel, score};
+    use super::*;
+    use predictors::{Capacity, StridePredictor};
+    use rand::SeedableRng;
+
+    fn kernel(jitter: f64) -> PointerChaseKernel {
+        let mut rng = SmallRng::seed_from_u64(1);
+        PointerChaseKernel::new(
+            KernelSlot::for_site(0),
+            64,
+            40,
+            jitter,
+            PayloadKind::CoAllocated,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn regular_allocation_gives_constant_value_stride() {
+        let trace = run_kernel(&mut kernel(0.0), 200);
+        let mut st = StridePredictor::new(Capacity::Unbounded);
+        // Next pointers stride by node_size except at the wrap.
+        let acc = score(&trace, &mut st);
+        assert!(acc > 0.8, "{acc}");
+    }
+
+    #[test]
+    fn payload_address_correlates_with_next_pointer() {
+        // pc(1)'s value (payload ptr) strides in step with the node walk:
+        // global stride at distance 1 from pc(0)'s value.
+        let trace = run_kernel(&mut kernel(0.0), 200);
+        let acc = gdiff_accuracy_at(&trace, KernelSlot::for_site(0).pc(1), 8);
+        assert!(acc > 0.9, "{acc}");
+    }
+
+    #[test]
+    fn jitter_creates_multi_stride_phases() {
+        let regular = run_kernel(&mut kernel(0.0), 300);
+        let jittery = run_kernel(&mut kernel(0.5), 300);
+        let mut a = StridePredictor::new(Capacity::Unbounded);
+        let mut b = StridePredictor::new(Capacity::Unbounded);
+        let ra = score(&regular, &mut a);
+        let rb = score(&jittery, &mut b);
+        assert!(rb < ra, "jitter must reduce stride predictability: {rb} vs {ra}");
+    }
+
+    #[test]
+    fn footprint_scales_with_nodes() {
+        assert_eq!(kernel(0.0).footprint(), 64 * 40);
+    }
+
+    #[test]
+    fn addresses_stay_in_kernel_region() {
+        let trace = run_kernel(&mut kernel(0.3), 100);
+        let s = KernelSlot::for_site(0);
+        for i in trace.iter().filter(|i| i.is_mem()) {
+            let a = i.mem_addr.unwrap();
+            assert!(a >= s.mem_base && a < s.mem_base + 0x0100_0000, "{a:#x}");
+        }
+    }
+}

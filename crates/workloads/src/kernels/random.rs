@@ -1,0 +1,71 @@
+//! Incompressible-value kernel.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use super::{Kernel, KernelSlot};
+use crate::DynInst;
+
+/// Produces fresh pseudo-random values — the floor of predictability that
+/// keeps every benchmark's accuracy below 100% (hash results, compressed
+/// data, input-dependent computation).
+#[derive(Debug)]
+pub struct RandomKernel {
+    slot: KernelSlot,
+    per_block: usize,
+    mask: u64,
+}
+
+impl RandomKernel {
+    /// Creates a kernel emitting `per_block` random values per invocation,
+    /// masked to `bits` significant bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_block` is not in `1..=4` or `bits` not in `1..=64`.
+    pub fn new(slot: KernelSlot, per_block: usize, bits: u32) -> Self {
+        assert!((1..=4).contains(&per_block), "1..=4 values per block");
+        assert!((1..=64).contains(&bits), "1..=64 bits");
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        RandomKernel { slot, per_block, mask }
+    }
+}
+
+impl Kernel for RandomKernel {
+    fn emit(&mut self, out: &mut Vec<DynInst>, rng: &mut SmallRng) {
+        let s = self.slot;
+        for i in 0..self.per_block {
+            let v = rng.gen::<u64>() & self.mask;
+            let r = s.reg((i % 4) as u8);
+            out.push(DynInst::alu(s.pc(i as u64), r, [Some(r), None], v));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::{run_kernel, score};
+    use super::*;
+    use predictors::{Capacity, DfcmPredictor, StridePredictor};
+
+    #[test]
+    fn defeats_all_predictors() {
+        let mut k = RandomKernel::new(KernelSlot::for_site(0), 2, 32);
+        let trace = run_kernel(&mut k, 500);
+        let mut st = StridePredictor::new(Capacity::Unbounded);
+        let mut df = DfcmPredictor::new(Capacity::Unbounded, 4, 16);
+        assert!(score(&trace, &mut st) < 0.05);
+        assert!(score(&trace, &mut df) < 0.05);
+    }
+
+    #[test]
+    fn respects_bit_mask() {
+        let mut k = RandomKernel::new(KernelSlot::for_site(0), 1, 8);
+        let trace = run_kernel(&mut k, 100);
+        assert!(trace.iter().all(|i| i.value < 256));
+    }
+}

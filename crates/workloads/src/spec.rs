@@ -1,0 +1,340 @@
+//! Per-benchmark program specifications.
+//!
+//! Each SPECint2000 benchmark from the paper is modelled as a mixture of
+//! kernels whose weights were chosen so the benchmark's *qualitative*
+//! predictability profile matches the paper's Figure 8 / Figure 16
+//! characterization (see DESIGN.md §4 for the substitution argument):
+//!
+//! * **mcf** — pointer-chasing over a multi-megabyte bump-allocated arena:
+//!   highest gDiff accuracy, massive D-cache miss rate;
+//! * **parser / twolf** — spill/fill heavy: the largest gDiff-over-local
+//!   gaps (the paper's +34% benchmarks);
+//! * **gap** — long save/restore chains beyond a queue of order 8 but
+//!   within order 32: the lowest overall predictability with the
+//!   queue-size-sensitive recovery;
+//! * **bzip2 / gzip** — buffer sweeps and counters: stride friendly;
+//! * **gcc / perl / vortex / vpr** — diverse mixes with calls, periodic
+//!   string processing, and data-dependent branches.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::kernels::{
+    ArrayData, ArrayWalkKernel, BranchyKernel, CallKernel, CorrelationKernel, FillerKind,
+    HardKind, Indexing, Kernel, KernelSlot, LoopKernel, PayloadKind, PeriodicKernel,
+    PointerChaseKernel, RandomKernel, SaveRestoreKernel,
+};
+use crate::Program;
+
+/// The ten SPECint2000 benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Bzip2,
+    Gap,
+    Gcc,
+    Gzip,
+    Mcf,
+    Parser,
+    Perl,
+    Twolf,
+    Vortex,
+    Vpr,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the paper's (alphabetical) presentation order.
+    pub const ALL: [Benchmark; 10] = [
+        Benchmark::Bzip2,
+        Benchmark::Gap,
+        Benchmark::Gcc,
+        Benchmark::Gzip,
+        Benchmark::Mcf,
+        Benchmark::Parser,
+        Benchmark::Perl,
+        Benchmark::Twolf,
+        Benchmark::Vortex,
+        Benchmark::Vpr,
+    ];
+
+    /// The benchmark's SPEC name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Bzip2 => "bzip2",
+            Benchmark::Gap => "gap",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Gzip => "gzip",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Parser => "parser",
+            Benchmark::Perl => "perl",
+            Benchmark::Twolf => "twolf",
+            Benchmark::Vortex => "vortex",
+            Benchmark::Vpr => "vpr",
+        }
+    }
+
+    /// Parses a benchmark name.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// Builds the benchmark's synthetic program, seeded for determinism.
+    pub fn build(self, seed: u64) -> Program {
+        let mut b = Builder::new(seed);
+        match self {
+            Benchmark::Bzip2 => {
+                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 4), (640, 4), (9, 4)], 40).padded(5)));
+                let a1 = b.add(|s, _| {
+                    Box::new(ArrayWalkKernel::with_burst(
+                        s, 2048, 8, ArrayData::Affine { base: 0x2_0000, delta: 8 }, Indexing::Sweep, 40,
+                    ).padded(4))
+                });
+                let a2 = b.add(|s, _| {
+                    Box::new(ArrayWalkKernel::with_burst(s, 512, 8, ArrayData::Hashed, Indexing::Sweep, 2).padded(4))
+                });
+                let co = b.add(|s, _| {
+                    Box::new(CorrelationKernel::new(s, 4, &[4, 12], HardKind::Generational, FillerKind::Strided))
+                });
+                let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 4, 24)));
+                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
+                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 8, HardKind::PhasedStride)));
+                b.schedule(&[lp, a1, sp, co, a2, rn, sr, sp, co, rn, sr, sp, rn]);
+                b.build(0.03)
+            }
+            Benchmark::Gap => {
+                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 14, HardKind::Generational)));
+                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 8), (32, 8)], 20).padded(5)));
+                let ph = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 6, HardKind::PhasedStride)));
+                let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 4, 32)));
+                b.schedule(&[sr, lp, ph, rn, sr, rn]);
+                b.build(0.02)
+            }
+            Benchmark::Gcc => {
+                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 4), (96, 4)], 32).padded(5)));
+                let ca = b.add(|s, _| Box::new(CallKernel::new(s, 4, true)));
+                let ce = b.add(|s, _| Box::new(CallKernel::new(s, 3, false)));
+                let pe = b.add(|s, _| Box::new(PeriodicKernel::new(s, &[3, 17, 3, 90, 41], 1)));
+                let co = b.add(|s, _| {
+                    Box::new(CorrelationKernel::new(s, 5, &[8], HardKind::Generational, FillerKind::Strided))
+                });
+                let ar = b.add(|s, _| {
+                    Box::new(ArrayWalkKernel::with_burst(s, 2048, 8, ArrayData::Evolving, Indexing::Scattered, 5).padded(4))
+                });
+                let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 2, 32)));
+                let br = b.add(|s, _| Box::new(BranchyKernel::new(s, 0.55)));
+                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
+                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 8, HardKind::PhasedStride)));
+                b.schedule(&[lp, ca, pe, sp, co, ce, ar, br, sr, sp, co, sr, sp, rn]);
+                b.build(0.08)
+            }
+            Benchmark::Gzip => {
+                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 2), (16, 2), (5, 2)], 40).padded(5)));
+                let a1 = b.add(|s, _| {
+                    Box::new(ArrayWalkKernel::with_burst(
+                        s, 4096, 4, ArrayData::Affine { base: 7, delta: 4 }, Indexing::Sweep, 40,
+                    ).padded(4))
+                });
+                let co = b.add(|s, _| {
+                    Box::new(CorrelationKernel::new(s, 3, &[4, 12], HardKind::Generational, FillerKind::Strided))
+                });
+                let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 4, 16)));
+                let pe = b.add(|s, _| Box::new(PeriodicKernel::new(s, &[258, 4, 258, 10, 2], 1)));
+                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 18, HardKind::Generational)));
+                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
+                b.schedule(&[lp, a1, sp, co, rn, pe, sr, sp, co, sr, sp, rn, rn]);
+                b.build(0.04)
+            }
+            Benchmark::Mcf => {
+                let p1 = b.add(|s, rng| {
+                    Box::new(
+                        PointerChaseKernel::new(s, 120_000, 40, 0.25, PayloadKind::CoAllocated, rng)
+                            .with_hops(128).padded(4).with_payload_churn(0.25),
+                    )
+                });
+                let p2 = b.add(|s, rng| {
+                    Box::new(
+                        PointerChaseKernel::new(s, 80_000, 64, 0.30, PayloadKind::CoAllocated, rng)
+                            .with_hops(96).padded(4).with_payload_churn(0.35),
+                    )
+                });
+                let co = b.add(|s, _| {
+                    Box::new(CorrelationKernel::new(s, 4, &[], HardKind::Generational, FillerKind::Strided))
+                });
+                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 4), (40, 4)], 12).padded(5)));
+                let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 2, 32)));
+                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
+                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 8, HardKind::PhasedStride)));
+                b.schedule(&[p1, co, sp, p2, sr, lp, p1, co, sp, sr, rn, sp, sr]);
+                b.build(0.02)
+            }
+            Benchmark::Parser => {
+                let c1 = b.add(|s, _| {
+                    Box::new(CorrelationKernel::new(s, 3, &[4, 24], HardKind::NoisyRange, FillerKind::Strided))
+                });
+                let c2 = b.add(|s, _| {
+                    Box::new(CorrelationKernel::new(s, 5, &[8], HardKind::Generational, FillerKind::Strided))
+                });
+                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 18, HardKind::NoisyRange)));
+                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
+                let ca = b.add(|s, _| Box::new(CallKernel::new(s, 4, true)));
+                let pe = b.add(|s, _| Box::new(PeriodicKernel::new(s, &[115, 111, 114, 100, 95], 2)));
+                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 8), (24, 8)], 12).padded(5)));
+                let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 1, 16)));
+                b.schedule(&[c1, ca, pe, sp, c2, lp, c1, sr, sp, rn, sp]);
+                b.build(0.06)
+            }
+            Benchmark::Perl => {
+                let ca = b.add(|s, _| Box::new(CallKernel::new(s, 5, true)));
+                let cb = b.add(|s, _| Box::new(CallKernel::new(s, 3, false)));
+                let p1 = b.add(|s, _| Box::new(PeriodicKernel::new(s, &[36, 105, 102, 36, 123, 125], 1)));
+                let co = b.add(|s, _| {
+                    Box::new(CorrelationKernel::new(s, 3, &[4], HardKind::Generational, FillerKind::Strided))
+                });
+                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 1), (8, 1)], 16).padded(5)));
+                let ar = b.add(|s, _| {
+                    Box::new(ArrayWalkKernel::with_burst(s, 1024, 8, ArrayData::Evolving, Indexing::Scattered, 3).padded(4))
+                });
+                let br = b.add(|s, _| Box::new(BranchyKernel::new(s, 0.6)));
+                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
+                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
+                b.schedule(&[ca, p1, sp, co, cb, lp, ar, sr, sp, co, sr, sp, br]);
+                b.build(0.07)
+            }
+            Benchmark::Twolf => {
+                let c1 = b.add(|s, _| {
+                    Box::new(CorrelationKernel::new(s, 4, &[4, 12], HardKind::Generational, FillerKind::Strided))
+                });
+                let c2 = b.add(|s, _| {
+                    Box::new(CorrelationKernel::new(s, 6, &[8], HardKind::Generational, FillerKind::Random))
+                });
+                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
+                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
+                let ca = b.add(|s, _| Box::new(CallKernel::new(s, 6, true)));
+                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 16), (64, 16)], 10).padded(5)));
+                let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 2, 28)));
+                let br = b.add(|s, _| Box::new(BranchyKernel::new(s, 0.5)));
+                b.schedule(&[c1, ca, sp, c2, lp, sr, sp, rn, sp, br]);
+                b.build(0.05)
+            }
+            Benchmark::Vortex => {
+                let ca = b.add(|s, _| Box::new(CallKernel::new(s, 4, false)));
+                let cb = b.add(|s, _| Box::new(CallKernel::new(s, 4, true)));
+                let a1 = b.add(|s, _| {
+                    Box::new(ArrayWalkKernel::with_burst(
+                        s, 1024, 16, ArrayData::Affine { base: 0x4000, delta: 16 }, Indexing::Sweep, 36,
+                    ).padded(4))
+                });
+                let co = b.add(|s, _| {
+                    Box::new(CorrelationKernel::new(s, 6, &[8, 16], HardKind::Generational, FillerKind::Strided))
+                });
+                let pe = b.add(|s, _| Box::new(PeriodicKernel::new(s, &[1, 12, 1, 44], 1)));
+                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 4), (100, 4), (3, 4)], 32).padded(5)));
+                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 18, HardKind::Generational)));
+                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 8, HardKind::PhasedStride)));
+                b.schedule(&[ca, a1, sp, co, cb, pe, lp, sr, sp, co, sr, sp, ca]);
+                b.build(0.04)
+            }
+            Benchmark::Vpr => {
+                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 4), (28, 4)], 32).padded(5)));
+                let a1 = b.add(|s, _| {
+                    Box::new(ArrayWalkKernel::with_burst(s, 4096, 8, ArrayData::Evolving, Indexing::Scattered, 4).padded(4))
+                });
+                let co = b.add(|s, _| {
+                    Box::new(CorrelationKernel::new(s, 4, &[8], HardKind::PhasedStride, FillerKind::Strided))
+                });
+                let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 2, 24)));
+                let br = b.add(|s, _| Box::new(BranchyKernel::new(s, 0.45)));
+                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
+                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
+                b.schedule(&[lp, a1, sp, co, rn, sr, sp, co, sr, sp, br, lp]);
+                b.build(0.05)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Incrementally assembles a [`Program`], assigning kernel slots.
+struct Builder {
+    sites: Vec<Box<dyn Kernel>>,
+    schedule: Vec<usize>,
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl Builder {
+    fn new(seed: u64) -> Self {
+        Builder { sites: Vec::new(), schedule: Vec::new(), rng: SmallRng::seed_from_u64(seed ^ 0xC0FF_EE00), seed }
+    }
+
+    fn add(&mut self, make: impl FnOnce(KernelSlot, &mut SmallRng) -> Box<dyn Kernel>) -> usize {
+        let slot = KernelSlot::for_site(self.sites.len());
+        let k = make(slot, &mut self.rng);
+        self.sites.push(k);
+        self.sites.len() - 1
+    }
+
+    fn schedule(&mut self, order: &[usize]) {
+        self.schedule.extend_from_slice(order);
+    }
+
+    fn build(self, skip_prob: f64) -> Program {
+        Program::new(self.sites, self.schedule, skip_prob, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_builds_and_streams() {
+        for b in Benchmark::ALL {
+            let trace: Vec<_> = b.build(1).take(2000).collect();
+            assert_eq!(trace.len(), 2000, "{b}");
+            let vp = trace.iter().filter(|i| i.produces_value()).count();
+            assert!(vp > 500, "{b} must produce values: {vp}");
+            let branches = trace.iter().filter(|i| i.is_control()).count();
+            assert!(branches > 50, "{b} must have control flow: {branches}");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("nope"), None);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = Benchmark::Mcf.build(9).take(1000).collect();
+        let b: Vec<_> = Benchmark::Mcf.build(9).take(1000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mcf_touches_a_large_footprint() {
+        use std::collections::HashSet;
+        let trace: Vec<_> = Benchmark::Mcf.build(1).take(200_000).collect();
+        let lines: HashSet<u64> =
+            trace.iter().filter_map(|i| i.mem_addr).map(|a| a / 64).collect();
+        // 64 KB cache = 1024 lines; mcf must touch far more.
+        assert!(lines.len() > 10_000, "mcf footprint: {} lines", lines.len());
+    }
+
+    #[test]
+    fn gzip_fits_mostly_in_cache() {
+        use std::collections::HashSet;
+        let trace: Vec<_> = Benchmark::Gzip.build(1).take(200_000).collect();
+        let lines: HashSet<u64> =
+            trace.iter().filter_map(|i| i.mem_addr).map(|a| a / 64).collect();
+        assert!(lines.len() < 2048, "gzip footprint: {} lines", lines.len());
+    }
+}

@@ -1,0 +1,275 @@
+//! Reading and writing dynamic instruction traces.
+//!
+//! The synthetic benchmark models cover the paper's evaluation, but a
+//! downstream user will eventually want to run the predictors and the
+//! pipeline on *their own* traces. This module defines a simple,
+//! line-oriented text format and (de)serializers for it, so any tracer
+//! (Pin, DynamoRIO, QEMU plugins, a CVP-1 converter, …) can feed this
+//! workspace.
+//!
+//! # Format
+//!
+//! One instruction per line, space-separated fields:
+//!
+//! ```text
+//! <pc:hex> <op> [d<reg>] [s<reg>] [s<reg>] [v<value:hex>] [m<addr:hex>] [bT|bN <target:hex>]
+//! ```
+//!
+//! * `op` — one of `alu mul div load store branch jump`
+//! * `d<reg>` — destination register (value producers only)
+//! * `s<reg>` — source registers (up to two)
+//! * `v<value>` — produced value (hex)
+//! * `m<addr>` — effective address (hex, loads/stores)
+//! * `bT <target>` / `bN <target>` — branch taken/not-taken with target
+//!
+//! Lines starting with `#` and blank lines are ignored.
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::trace::{parse_line, format_inst};
+//! use workloads::DynInst;
+//!
+//! let inst = DynInst::load(0x400, 3, 29, 0x1000, 42);
+//! let line = format_inst(&inst);
+//! assert_eq!(parse_line(&line).unwrap(), inst);
+//! ```
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+use crate::{DynInst, OpClass};
+
+/// An error encountered while parsing a trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number (0 when unknown).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn op_name(op: OpClass) -> &'static str {
+    match op {
+        OpClass::IntAlu => "alu",
+        OpClass::IntMul => "mul",
+        OpClass::IntDiv => "div",
+        OpClass::Load => "load",
+        OpClass::Store => "store",
+        OpClass::Branch => "branch",
+        OpClass::Jump => "jump",
+    }
+}
+
+fn op_from_name(name: &str) -> Option<OpClass> {
+    Some(match name {
+        "alu" => OpClass::IntAlu,
+        "mul" => OpClass::IntMul,
+        "div" => OpClass::IntDiv,
+        "load" => OpClass::Load,
+        "store" => OpClass::Store,
+        "branch" => OpClass::Branch,
+        "jump" => OpClass::Jump,
+        _ => return None,
+    })
+}
+
+/// Serializes one instruction to its trace line (no trailing newline).
+pub fn format_inst(inst: &DynInst) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{:x} {}", inst.pc, op_name(inst.op));
+    if let Some(d) = inst.dst {
+        let _ = write!(s, " d{d}");
+    }
+    for src in inst.srcs.iter().flatten() {
+        let _ = write!(s, " s{src}");
+    }
+    if inst.dst.is_some() {
+        let _ = write!(s, " v{:x}", inst.value);
+    }
+    if let Some(a) = inst.mem_addr {
+        let _ = write!(s, " m{a:x}");
+    }
+    if inst.is_control() {
+        let _ = write!(s, " b{} {:x}", if inst.taken { "T" } else { "N" }, inst.target);
+    }
+    s
+}
+
+/// Parses one trace line (see the module docs for the format).
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] (with `line == 0`) on malformed input.
+pub fn parse_line(line: &str) -> Result<DynInst, ParseTraceError> {
+    let err = |message: String| ParseTraceError { line: 0, message };
+    let mut fields = line.split_whitespace();
+    let pc = u64::from_str_radix(fields.next().ok_or_else(|| err("empty line".into()))?, 16)
+        .map_err(|e| err(format!("bad pc: {e}")))?;
+    let op_str = fields.next().ok_or_else(|| err("missing op".into()))?;
+    let op = op_from_name(op_str).ok_or_else(|| err(format!("unknown op `{op_str}`")))?;
+
+    let mut inst = DynInst {
+        pc,
+        op,
+        dst: None,
+        srcs: [None, None],
+        value: 0,
+        mem_addr: None,
+        taken: false,
+        target: 0,
+    };
+    let mut n_src = 0;
+    let mut expect_target = false;
+    for f in fields {
+        if expect_target {
+            inst.target =
+                u64::from_str_radix(f, 16).map_err(|e| err(format!("bad target: {e}")))?;
+            expect_target = false;
+            continue;
+        }
+        let (tag, rest) = f.split_at(1);
+        match tag {
+            "d" => inst.dst = Some(rest.parse().map_err(|e| err(format!("bad dst: {e}")))?),
+            "s" => {
+                if n_src >= 2 {
+                    return Err(err("more than two sources".into()));
+                }
+                inst.srcs[n_src] =
+                    Some(rest.parse().map_err(|e| err(format!("bad src: {e}")))?);
+                n_src += 1;
+            }
+            "v" => {
+                inst.value =
+                    u64::from_str_radix(rest, 16).map_err(|e| err(format!("bad value: {e}")))?
+            }
+            "m" => {
+                inst.mem_addr = Some(
+                    u64::from_str_radix(rest, 16).map_err(|e| err(format!("bad addr: {e}")))?,
+                )
+            }
+            "b" => {
+                inst.taken = match rest {
+                    "T" => true,
+                    "N" => false,
+                    other => return Err(err(format!("bad branch outcome `{other}`"))),
+                };
+                expect_target = true;
+            }
+            other => return Err(err(format!("unknown field tag `{other}`"))),
+        }
+    }
+    if expect_target {
+        return Err(err("branch outcome without target".into()));
+    }
+    if inst.is_control() && inst.op == OpClass::Jump {
+        inst.taken = true;
+    }
+    Ok(inst)
+}
+
+/// Writes a trace to `w`, one line per instruction.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(
+    mut w: W,
+    insts: impl IntoIterator<Item = DynInst>,
+) -> io::Result<()> {
+    for inst in insts {
+        writeln!(w, "{}", format_inst(&inst))?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from `r`, skipping comments and blank lines.
+///
+/// Returns an iterator so arbitrarily large traces stream without
+/// buffering; each item is the parsed instruction or a positioned error.
+pub fn read_trace<R: BufRead>(r: R) -> impl Iterator<Item = Result<DynInst, ParseTraceError>> {
+    r.lines().enumerate().filter_map(|(i, line)| match line {
+        Err(e) => Some(Err(ParseTraceError { line: i + 1, message: format!("io error: {e}") })),
+        Ok(l) => {
+            let t = l.trim();
+            if t.is_empty() || t.starts_with('#') {
+                None
+            } else {
+                Some(parse_line(t).map_err(|mut e| {
+                    e.line = i + 1;
+                    e
+                }))
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Benchmark;
+
+    #[test]
+    fn round_trips_every_instruction_kind() {
+        let insts = vec![
+            DynInst::alu(0x400, 3, [Some(1), Some(2)], 0xdead_beef),
+            DynInst::mul(0x404, 4, [Some(3), None], 7),
+            DynInst::load(0x408, 5, 29, 0x1000_0000, 42),
+            DynInst::store(0x40c, 5, 29, 0x1000_0008),
+            DynInst::branch(0x410, 5, true, 0x400),
+            DynInst::branch(0x414, 5, false, 0x400),
+            DynInst::jump(0x418, 0x8000),
+        ];
+        for inst in insts {
+            let line = format_inst(&inst);
+            assert_eq!(parse_line(&line).unwrap(), inst, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn round_trips_a_whole_benchmark_prefix() {
+        let original: Vec<DynInst> = Benchmark::Gcc.build(7).take(5_000).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, original.iter().copied()).unwrap();
+        let parsed: Vec<DynInst> =
+            read_trace(io::Cursor::new(buf)).collect::<Result<_, _>>().unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# a comment\n\n400 alu d1 v2a\n   \n# another\n404 jump bT 400\n";
+        let parsed: Vec<DynInst> =
+            read_trace(io::Cursor::new(text)).collect::<Result<_, _>>().unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].value, 0x2a);
+        assert!(parsed[1].taken);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "400 alu d1 v2a\nbogus line here\n";
+        let results: Vec<_> = read_trace(io::Cursor::new(text)).collect();
+        assert!(results[0].is_ok());
+        let e = results[1].as_ref().unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(format!("{e}").contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_malformed_fields() {
+        assert!(parse_line("zzz alu").is_err());
+        assert!(parse_line("400 frobnicate").is_err());
+        assert!(parse_line("400 alu d1 s2 s3 s4 v0").is_err());
+        assert!(parse_line("400 branch bT").is_err());
+        assert!(parse_line("400 branch bX 10").is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Value-speculative execution end to end: run the Table 1 machine with
+//! and without gDiff value prediction and compare IPC (paper §7).
+//!
+//! ```text
+//! cargo run -p harness --release --example pipeline_speedup [benchmark]
+//! ```
+
+use pipeline::{HgvqEngine, LocalEngine, NoVp, PipelineConfig, Simulator, VpEngine};
+use workloads::Benchmark;
+
+fn run(bench: Benchmark, engine: Box<dyn VpEngine>) -> pipeline::SimStats {
+    let trace = bench.build(42).take(1_500_000);
+    Simulator::new(PipelineConfig::r10k(), engine).run(trace, 100_000, 400_000)
+}
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|s| Benchmark::from_name(&s))
+        .unwrap_or(Benchmark::Twolf);
+
+    println!("value speculation on {bench} (4-wide, 64-entry window, selective reissue):\n");
+
+    let base = run(bench, Box::new(NoVp));
+    println!("  baseline:          IPC {:.3}", base.ipc());
+
+    let st = run(bench, Box::new(LocalEngine::stride_8k()));
+    println!(
+        "  + local stride VP: IPC {:.3}  ({:+.1}%)  [acc {:.1}%, cov {:.1}%]",
+        st.ipc(),
+        100.0 * (st.ipc() / base.ipc() - 1.0),
+        100.0 * st.vp.gated_accuracy(),
+        100.0 * st.vp.coverage(),
+    );
+
+    let gd = run(bench, Box::new(HgvqEngine::paper_default()));
+    println!(
+        "  + gdiff (HGVQ) VP: IPC {:.3}  ({:+.1}%)  [acc {:.1}%, cov {:.1}%]",
+        gd.ipc(),
+        100.0 * (gd.ipc() / base.ipc() - 1.0),
+        100.0 * gd.vp.gated_accuracy(),
+        100.0 * gd.vp.coverage(),
+    );
+
+    println!("\nvalue delay observed: mean {:.1} values between dispatch and write-back", gd.delays.mean());
+    println!("reissues due to value misprediction: {} of {} retired", gd.reissues, gd.retired);
+    println!("\n(try: cargo run -p harness --release --example pipeline_speedup mcf)");
+}
