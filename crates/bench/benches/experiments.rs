@@ -30,18 +30,38 @@ fn bench_exhibits(c: &mut Criterion) {
 
     // Figure 8 family: profile accuracy of the three predictors.
     g.bench_function("fig8_stride_cell", |b| {
-        b.iter(|| profile_step(Benchmark::Parser, &mut StridePredictor::new(Capacity::Unbounded)))
+        b.iter(|| {
+            profile_step(
+                Benchmark::Parser,
+                &mut StridePredictor::new(Capacity::Unbounded),
+            )
+        })
     });
     g.bench_function("fig8_dfcm_cell", |b| {
-        b.iter(|| profile_step(Benchmark::Parser, &mut DfcmPredictor::new(Capacity::Unbounded, 4, 16)))
+        b.iter(|| {
+            profile_step(
+                Benchmark::Parser,
+                &mut DfcmPredictor::new(Capacity::Unbounded, 4, 16),
+            )
+        })
     });
     g.bench_function("fig8_gdiff_cell", |b| {
-        b.iter(|| profile_step(Benchmark::Parser, &mut GDiffPredictor::new(Capacity::Unbounded, 8)))
+        b.iter(|| {
+            profile_step(
+                Benchmark::Parser,
+                &mut GDiffPredictor::new(Capacity::Unbounded, 8),
+            )
+        })
     });
 
     // Figure 9 family: bounded-table profile run.
     g.bench_function("fig9_8k_table_cell", |b| {
-        b.iter(|| profile_step(Benchmark::Gcc, &mut GDiffPredictor::new(Capacity::Entries(8192), 8)))
+        b.iter(|| {
+            profile_step(
+                Benchmark::Gcc,
+                &mut GDiffPredictor::new(Capacity::Entries(8192), 8),
+            )
+        })
     });
 
     // Figure 10 family: delayed profile run.
@@ -64,10 +84,13 @@ fn bench_exhibits(c: &mut Criterion) {
     });
     g.bench_function("fig16_hgvq_cell", |b| {
         b.iter(|| {
-            Simulator::new(PipelineConfig::r10k(), Box::new(HgvqEngine::paper_default()))
-                .run(Benchmark::Gzip.build(42).take(N * 2), 3_000, N as u64)
-                .vp
-                .coverage()
+            Simulator::new(
+                PipelineConfig::r10k(),
+                Box::new(HgvqEngine::paper_default()),
+            )
+            .run(Benchmark::Gzip.build(42).take(N * 2), 3_000, N as u64)
+            .vp
+            .coverage()
         })
     });
 

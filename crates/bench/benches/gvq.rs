@@ -61,11 +61,8 @@ fn bench_split_phase(c: &mut Criterion) {
     let mut g = c.benchmark_group("split_phase_dispatch_writeback");
     g.throughput(Throughput::Elements(1));
     g.bench_function("hgvq", |b| {
-        let mut p = HgvqPredictor::with_stride_filler(
-            Capacity::Entries(8192),
-            32,
-            Capacity::Entries(8192),
-        );
+        let mut p =
+            HgvqPredictor::with_stride_filler(Capacity::Entries(8192), 32, Capacity::Entries(8192));
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
@@ -85,5 +82,10 @@ fn bench_split_phase(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_queue_ops, bench_gdiff_update_orders, bench_split_phase);
+criterion_group!(
+    benches,
+    bench_queue_ops,
+    bench_gdiff_update_orders,
+    bench_split_phase
+);
 criterion_main!(benches);

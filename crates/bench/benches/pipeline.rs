@@ -18,18 +18,26 @@ fn bench_engines(c: &mut Criterion) {
     g.throughput(Throughput::Elements(INSTS));
     g.sample_size(10);
     for bench in [Benchmark::Gzip, Benchmark::Mcf] {
-        g.bench_with_input(BenchmarkId::new("no_vp", bench.name()), &bench, |b, &bench| {
-            b.iter(|| run(bench, Box::new(NoVp)))
-        });
-        g.bench_with_input(BenchmarkId::new("local_stride", bench.name()), &bench, |b, &bench| {
-            b.iter(|| run(bench, Box::new(LocalEngine::stride_8k())))
-        });
-        g.bench_with_input(BenchmarkId::new("gdiff_sgvq", bench.name()), &bench, |b, &bench| {
-            b.iter(|| run(bench, Box::new(SgvqEngine::paper_default())))
-        });
-        g.bench_with_input(BenchmarkId::new("gdiff_hgvq", bench.name()), &bench, |b, &bench| {
-            b.iter(|| run(bench, Box::new(HgvqEngine::paper_default())))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("no_vp", bench.name()),
+            &bench,
+            |b, &bench| b.iter(|| run(bench, Box::new(NoVp))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("local_stride", bench.name()),
+            &bench,
+            |b, &bench| b.iter(|| run(bench, Box::new(LocalEngine::stride_8k()))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("gdiff_sgvq", bench.name()),
+            &bench,
+            |b, &bench| b.iter(|| run(bench, Box::new(SgvqEngine::paper_default()))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("gdiff_hgvq", bench.name()),
+            &bench,
+            |b, &bench| b.iter(|| run(bench, Box::new(HgvqEngine::paper_default()))),
+        );
     }
     g.finish();
 }

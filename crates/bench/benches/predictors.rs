@@ -5,7 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use gdiff::GDiffPredictor;
 use predictors::{
     Capacity, DfcmPredictor, FcmPredictor, HybridPredictor, LastNValuePredictor,
-    LastValuePredictor, MarkovPredictor, MarkovConfig, PiPredictor, StridePredictor,
+    LastValuePredictor, MarkovConfig, MarkovPredictor, PiPredictor, StridePredictor,
     ValuePredictor,
 };
 use workloads::Benchmark;
@@ -25,13 +25,37 @@ fn bench_predictors(c: &mut Criterion) {
     g.throughput(Throughput::Elements(values.len() as u64));
 
     let mut cases: Vec<(&str, Box<dyn ValuePredictor>)> = vec![
-        ("last_value", Box::new(LastValuePredictor::new(Capacity::Entries(8192)))),
-        ("last_4_value", Box::new(LastNValuePredictor::new(Capacity::Entries(8192), 4))),
-        ("stride_2delta", Box::new(StridePredictor::new(Capacity::Entries(8192)))),
-        ("fcm_o4", Box::new(FcmPredictor::new(Capacity::Entries(8192), 4, 16))),
-        ("dfcm_o4", Box::new(DfcmPredictor::new(Capacity::Entries(8192), 4, 16))),
-        ("pi_global", Box::new(PiPredictor::new(Capacity::Entries(8192)))),
-        ("markov_64k", Box::new(MarkovPredictor::new(MarkovConfig { entries: 64 * 1024, ways: 4 }))),
+        (
+            "last_value",
+            Box::new(LastValuePredictor::new(Capacity::Entries(8192))),
+        ),
+        (
+            "last_4_value",
+            Box::new(LastNValuePredictor::new(Capacity::Entries(8192), 4)),
+        ),
+        (
+            "stride_2delta",
+            Box::new(StridePredictor::new(Capacity::Entries(8192))),
+        ),
+        (
+            "fcm_o4",
+            Box::new(FcmPredictor::new(Capacity::Entries(8192), 4, 16)),
+        ),
+        (
+            "dfcm_o4",
+            Box::new(DfcmPredictor::new(Capacity::Entries(8192), 4, 16)),
+        ),
+        (
+            "pi_global",
+            Box::new(PiPredictor::new(Capacity::Entries(8192))),
+        ),
+        (
+            "markov_64k",
+            Box::new(MarkovPredictor::new(MarkovConfig {
+                entries: 64 * 1024,
+                ways: 4,
+            })),
+        ),
         (
             "hybrid_stride_dfcm",
             Box::new(HybridPredictor::new(
@@ -40,8 +64,14 @@ fn bench_predictors(c: &mut Criterion) {
                 Capacity::Entries(8192),
             )),
         ),
-        ("gdiff_q8", Box::new(GDiffPredictor::new(Capacity::Entries(8192), 8))),
-        ("gdiff_q32", Box::new(GDiffPredictor::new(Capacity::Entries(8192), 32))),
+        (
+            "gdiff_q8",
+            Box::new(GDiffPredictor::new(Capacity::Entries(8192), 8)),
+        ),
+        (
+            "gdiff_q32",
+            Box::new(GDiffPredictor::new(Capacity::Entries(8192), 32)),
+        ),
     ];
 
     for (name, p) in cases.iter_mut() {

@@ -9,9 +9,19 @@ fn bench_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("trace_generation");
     g.throughput(Throughput::Elements(INSTS as u64));
     for bench in Benchmark::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(bench.name()), &bench, |b, &bench| {
-            b.iter(|| bench.build(42).take(INSTS).map(|i| i.value).fold(0u64, u64::wrapping_add))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &bench,
+            |b, &bench| {
+                b.iter(|| {
+                    bench
+                        .build(42)
+                        .take(INSTS)
+                        .map(|i| i.value)
+                        .fold(0u64, u64::wrapping_add)
+                })
+            },
+        );
     }
     g.finish();
 }

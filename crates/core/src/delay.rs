@@ -40,7 +40,11 @@ pub struct DelayedPredictor<P> {
 impl<P: ValuePredictor> DelayedPredictor<P> {
     /// Wraps `inner` with a value delay of `delay` values (`0` = no delay).
     pub fn new(inner: P, delay: usize) -> Self {
-        DelayedPredictor { inner, pending: VecDeque::with_capacity(delay + 1), delay }
+        DelayedPredictor {
+            inner,
+            pending: VecDeque::with_capacity(delay + 1),
+            delay,
+        }
     }
 
     /// The configured delay `T`.

@@ -97,7 +97,13 @@ impl<F: ValuePredictor> HgvqPredictor<F> {
     /// Any [`ValuePredictor`] can fill the queue; the paper suggests *"a
     /// local stride predictor or a local context predictor"*.
     pub fn new(table: Capacity, order: usize, confidence: Capacity, filler: F) -> Self {
-        Self::with_config(table, order, confidence, ConfidenceConfig::default(), filler)
+        Self::with_config(
+            table,
+            order,
+            confidence,
+            ConfidenceConfig::default(),
+            filler,
+        )
     }
 
     /// Like [`new`](Self::new) with explicit confidence parameters (for
@@ -137,7 +143,11 @@ impl<F: ValuePredictor> HgvqPredictor<F> {
             value,
             confident: self.confidence.is_confident(pc),
         });
-        HgvqToken { slot, prediction, filler }
+        HgvqToken {
+            slot,
+            prediction,
+            filler,
+        }
     }
 
     /// Write-back phase: patches the instruction's slot with the real
@@ -146,7 +156,8 @@ impl<F: ValuePredictor> HgvqPredictor<F> {
     pub fn writeback(&mut self, pc: u64, token: &HgvqToken, actual: u64) {
         self.queue.patch(token.slot, actual);
         let queue = &self.queue;
-        self.core.update_with(pc, actual, |k| queue.back_from(token.slot, k));
+        self.core
+            .update_with(pc, actual, |k| queue.back_from(token.slot, k));
         if let Some(p) = token.prediction {
             self.confidence.train(pc, p.value == actual);
         }
@@ -316,7 +327,10 @@ mod tests {
             p.writeback(0xa0, &ta, noise);
             p.writeback(0xb0, &tb, noise.wrapping_add(4));
         }
-        assert!(confident_wrong <= 15, "confidence must gate: {confident_wrong}");
+        assert!(
+            confident_wrong <= 15,
+            "confidence must gate: {confident_wrong}"
+        );
     }
 
     #[test]

@@ -158,7 +158,10 @@ mod tests {
             }
             p.update(0xb0, v);
         }
-        assert!(correct >= defines.len() - 2, "learned after two productions: {correct}");
+        assert!(
+            correct >= defines.len() - 2,
+            "learned after two productions: {correct}"
+        );
     }
 
     #[test]
@@ -213,7 +216,10 @@ mod tests {
             }
             p.update(0xb0, noise);
         }
-        assert!(correct >= 45, "order 8 must capture distance 5, got {correct}");
+        assert!(
+            correct >= 45,
+            "order 8 must capture distance 5, got {correct}"
+        );
     }
 
     #[test]
@@ -269,7 +275,10 @@ mod tests {
             }
             p.update(0xb0, noise);
         }
-        assert!(correct >= 90, "distance 6 > delay 4 must survive: {correct}");
+        assert!(
+            correct >= 90,
+            "distance 6 > delay 4 must survive: {correct}"
+        );
     }
 
     #[test]

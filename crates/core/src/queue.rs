@@ -65,7 +65,11 @@ impl GlobalValueQueue {
     /// Panics if `order` is zero.
     pub fn new(order: usize) -> Self {
         assert!(order > 0, "queue order must be nonzero");
-        GlobalValueQueue { values: vec![0; order], valid: vec![false; order], head: 0 }
+        GlobalValueQueue {
+            values: vec![0; order],
+            valid: vec![false; order],
+            head: 0,
+        }
     }
 
     /// The queue order (capacity).

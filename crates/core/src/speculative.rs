@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn stable_completion_order_learns_the_pair() {
         let correct = run_pair(false);
-        assert!(correct >= 190, "stable order must be near-perfect: {correct}");
+        assert!(
+            correct >= 190,
+            "stable order must be near-perfect: {correct}"
+        );
     }
 
     #[test]

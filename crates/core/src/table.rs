@@ -68,7 +68,10 @@ impl GDiffCore {
     pub fn new(capacity: Capacity, order: usize) -> Self {
         assert!(order > 0, "gdiff order must be nonzero");
         assert!(order <= u16::MAX as usize, "gdiff order too large");
-        GDiffCore { table: PcTable::new(capacity), order }
+        GDiffCore {
+            table: PcTable::new(capacity),
+            order,
+        }
     }
 
     /// The queue order `n` this core was built for.
@@ -94,12 +97,7 @@ impl GDiffCore {
     /// Trains the table with `pc`'s actual result, reading the queue
     /// through `value_at` anchored the same way predictions for this
     /// instruction are anchored.
-    pub fn update_with(
-        &mut self,
-        pc: u64,
-        actual: u64,
-        value_at: impl Fn(usize) -> Option<u64>,
-    ) {
+    pub fn update_with(&mut self, pc: u64, actual: u64, value_at: impl Fn(usize) -> Option<u64>) {
         let order = self.order;
         let calc: Vec<Option<i64>> = (1..=order)
             .map(|k| value_at(k).map(|v| actual.wrapping_sub(v) as i64))
@@ -193,7 +191,7 @@ mod tests {
         c.update_with(0, 5, q(&[5, 9, 5, 2]));
         c.update_with(0, 6, q(&[6, 1, 6, 3]));
         assert_eq!(c.entry(0).unwrap().distance(), Some(1)); // first match: smallest
-        // Now break distances 1/2/4 but keep distance 3 matching (diff 0).
+                                                             // Now break distances 1/2/4 but keep distance 3 matching (diff 0).
         c.update_with(0, 7, q(&[4, 9, 7, 8]));
         // dist1 diff: 3 (was 0) no match; dist3 diff: 0 == stored 0 -> match.
         assert_eq!(c.entry(0).unwrap().distance(), Some(3));
@@ -210,7 +208,11 @@ mod tests {
         assert_eq!(c.entry(0).unwrap().distance(), Some(1));
         c.update_with(0, 30, q(&[1, 2])); // diffs [29, 28]: no match
         let e = c.entry(0).unwrap();
-        assert_eq!(e.distance(), Some(1), "distance must not change on mismatch");
+        assert_eq!(
+            e.distance(),
+            Some(1),
+            "distance must not change on mismatch"
+        );
         assert_eq!(e.diff(1), Some(29), "diffs must refresh on mismatch");
     }
 

@@ -118,7 +118,7 @@ proptest! {
             pending.push((pc, token, v));
             // Pseudo-randomly retire a pending instruction.
             rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            if rng_state % 3 != 0 && !pending.is_empty() {
+            if !rng_state.is_multiple_of(3) && !pending.is_empty() {
                 let idx = (rng_state as usize / 7) % pending.len();
                 let (pc, token, v) = pending.swap_remove(idx);
                 p.writeback(pc, &token, v);
@@ -143,7 +143,7 @@ proptest! {
             let token = p.dispatch(pc);
             pending.push((pc, token, v));
             rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            if rng_state % 3 != 0 && !pending.is_empty() {
+            if !rng_state.is_multiple_of(3) && !pending.is_empty() {
                 let idx = (rng_state as usize / 7) % pending.len();
                 let (pc, token, v) = pending.swap_remove(idx);
                 p.complete(pc, &token, v);

@@ -87,12 +87,18 @@ impl SimObserver for AddressPredictionObserver {
     }
 
     fn load_agen(&mut self, seq: u64, inst: &DynInst, hit: bool) {
-        let Some(p) = self.pending.remove(&seq) else { return };
+        let Some(p) = self.pending.remove(&seq) else {
+            return;
+        };
         let actual = inst.mem_addr.expect("loads have addresses");
         // Record, gating local stride and gDiff by confidence, Markov by
         // tag match (every prediction it makes counts as confident).
         let records = [
-            (&mut self.stride_stats, p.stride.map(|(v, _)| v), p.stride.is_some_and(|(_, c)| c)),
+            (
+                &mut self.stride_stats,
+                p.stride.map(|(v, _)| v),
+                p.stride.is_some_and(|(_, c)| c),
+            ),
             (
                 &mut self.gdiff_stats,
                 p.gdiff.prediction.map(|g| g.value),
@@ -107,7 +113,8 @@ impl SimObserver for AddressPredictionObserver {
             }
         }
         // Train.
-        self.stride.resolve(inst.pc, p.stride.map(|(v, _)| v), actual);
+        self.stride
+            .resolve(inst.pc, p.stride.map(|(v, _)| v), actual);
         self.gdiff.writeback(inst.pc, &p.gdiff, actual);
         self.markov.update(inst.pc, actual);
     }
@@ -181,7 +188,13 @@ mod tests {
 
     #[test]
     fn fig18_gdiff_has_best_coverage_accuracy_combination() {
-        let rows = fig18(RunParams::tiny(), MarkovConfig { entries: 64 * 1024, ways: 4 });
+        let rows = fig18(
+            RunParams::tiny(),
+            MarkovConfig {
+                entries: 64 * 1024,
+                ways: 4,
+            },
+        );
         let g_cov = mean(rows.iter().map(|r| r.gdiff.0));
         let s_cov = mean(rows.iter().map(|r| r.stride.0));
         let g_acc = mean(rows.iter().map(|r| r.gdiff.1));
@@ -191,30 +204,54 @@ mod tests {
         // The Figure 18 shape: gDiff is competitive with local stride in
         // coverage at equal-or-better accuracy, while the Markov predictor
         // trades much worse accuracy for its tag-hit coverage.
-        assert!(g_cov > s_cov - 0.15, "gdiff coverage {g_cov} vs stride {s_cov}");
-        assert!(g_acc > s_acc - 0.05, "gdiff accuracy {g_acc} vs stride {s_acc}");
-        assert!(g_acc > m_acc + 0.1, "gdiff accuracy {g_acc} vs markov {m_acc}");
-        assert!(m_cov > s_cov - 0.1, "markov covers broadly: {m_cov} vs {s_cov}");
+        assert!(
+            g_cov > s_cov - 0.15,
+            "gdiff coverage {g_cov} vs stride {s_cov}"
+        );
+        assert!(
+            g_acc > s_acc - 0.05,
+            "gdiff accuracy {g_acc} vs stride {s_acc}"
+        );
+        assert!(
+            g_acc > m_acc + 0.1,
+            "gdiff accuracy {g_acc} vs markov {m_acc}"
+        );
+        assert!(
+            m_cov > s_cov - 0.1,
+            "markov covers broadly: {m_cov} vs {s_cov}"
+        );
     }
 
     #[test]
     fn fig18_missing_loads_are_harder() {
-        let rows = fig18(RunParams::tiny(), MarkovConfig { entries: 64 * 1024, ways: 4 });
+        let rows = fig18(
+            RunParams::tiny(),
+            MarkovConfig {
+                entries: 64 * 1024,
+                ways: 4,
+            },
+        );
         // Averaged over benchmarks, missing-load accuracy/coverage is at
         // most all-load accuracy (they are the pathological subset).
         let all = mean(rows.iter().map(|r| r.gdiff.0));
         let miss = mean(rows.iter().map(|r| r.gdiff_miss.0));
-        assert!(miss <= all + 0.1, "missing loads are harder: {miss} vs {all}");
+        assert!(
+            miss <= all + 0.1,
+            "missing loads are harder: {miss} vs {all}"
+        );
     }
 
     #[test]
     fn observer_pending_drains() {
         let mut obs = AddressPredictionObserver::paper_default();
         let trace = Benchmark::Mcf.build(1).take(60_000);
-        let _ = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp)).run_with_observer(
-            trace, 5_000, 20_000, &mut obs,
+        let _ = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp))
+            .run_with_observer(trace, 5_000, 20_000, &mut obs);
+        assert!(
+            obs.pending.len() < 128,
+            "pending must not leak: {}",
+            obs.pending.len()
         );
-        assert!(obs.pending.len() < 128, "pending must not leak: {}", obs.pending.len());
         assert!(obs.gdiff_stats.0.total() > 1_000);
     }
 }

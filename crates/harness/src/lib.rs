@@ -60,17 +60,29 @@ pub struct RunParams {
 impl RunParams {
     /// Default profile-study size.
     pub fn profile_default() -> Self {
-        RunParams { seed: 42, warmup: 200_000, measure: 2_000_000 }
+        RunParams {
+            seed: 42,
+            warmup: 200_000,
+            measure: 2_000_000,
+        }
     }
 
     /// Default pipeline-study size (per simulator run).
     pub fn pipeline_default() -> Self {
-        RunParams { seed: 42, warmup: 100_000, measure: 400_000 }
+        RunParams {
+            seed: 42,
+            warmup: 100_000,
+            measure: 400_000,
+        }
     }
 
     /// A reduced size for unit tests.
     pub fn tiny() -> Self {
-        RunParams { seed: 42, warmup: 5_000, measure: 40_000 }
+        RunParams {
+            seed: 42,
+            warmup: 5_000,
+            measure: 40_000,
+        }
     }
 
     /// Scales both phases by `f` (command-line `--scale`).

@@ -4,57 +4,162 @@
 //! table2 fig19 ablate-queue ablate-filler ablate-confidence all
 //!
 //! Options: `--scale <f>` multiplies run sizes (default 1.0),
-//! `--seed <n>` sets the workload seed (default 42).
+//! `--seed <n>` sets the workload seed (default 42),
+//! `--json <path|->` writes a machine-readable run report,
+//! `--trace-last <n>` records pipeline trace events and dumps the last n.
 
-use harness::report::{f2, pct, speedup_pct, Table};
+use harness::report::{f2, pct, speedup_pct, RunReport, Table};
 use harness::{
-    ablate_confidence, ablate_depth, ablate_filler, ablate_queue, fig1, fig10, fig12, fig13,
-    fig16, fig18, fig19, fig8, fig9, limit, pipe::harmonic_mean, prefetch,
-    profile::ablate_queue_orders, profile::fig10_delays, profile::fig9_sizes, table2, Fig18Row,
-    PipelineVpRow, RunParams,
+    ablate_confidence, ablate_depth, ablate_filler, ablate_queue, fig1, fig10, fig12, fig13, fig16,
+    fig18, fig19, fig8, fig9, limit, pipe::harmonic_mean, prefetch, profile::ablate_queue_orders,
+    profile::fig10_delays, profile::fig9_sizes, table2, Fig18Row, PipelineVpRow, RunParams,
 };
+use obs::trace::tracer;
+use obs::JsonValue;
 use predictors::MarkovConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = 1.0f64;
-    let mut seed = 42u64;
-    let mut exps: Vec<String> = Vec::new();
+/// Set when the JSON report goes to stdout (`--json -`): the human-readable
+/// tables move to stderr so stdout stays parseable.
+static TABLES_TO_STDERR: AtomicBool = AtomicBool::new(false);
+
+macro_rules! out {
+    ($($t:tt)*) => {
+        if TABLES_TO_STDERR.load(Ordering::Relaxed) {
+            eprint!($($t)*)
+        } else {
+            print!($($t)*)
+        }
+    };
+}
+
+macro_rules! outln {
+    ($($t:tt)*) => {
+        if TABLES_TO_STDERR.load(Ordering::Relaxed) {
+            eprintln!($($t)*)
+        } else {
+            println!($($t)*)
+        }
+    };
+}
+
+/// Command-line options, parsed without panicking.
+struct Options {
+    scale: f64,
+    seed: u64,
+    /// `--json <path>`; `-` means stdout.
+    json: Option<String>,
+    /// `--trace-last <n>`: ring capacity and dump size.
+    trace_last: Option<usize>,
+    experiments: Vec<String>,
+}
+
+/// Parses the argument list. On error, returns the message to print before
+/// usage + exit 2.
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut opts = Options {
+        scale: 1.0,
+        seed: 42,
+        json: None,
+        trace_last: None,
+        experiments: Vec::new(),
+    };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => scale = it.next().expect("--scale needs a value").parse().expect("scale"),
-            "--seed" => seed = it.next().expect("--seed needs a value").parse().expect("seed"),
-            "--help" | "-h" => {
+            "--scale" => opts.scale = parse_value(&a, it.next())?,
+            "--seed" => opts.seed = parse_value(&a, it.next())?,
+            "--trace-last" => opts.trace_last = Some(parse_value(&a, it.next())?),
+            "--json" => {
+                opts.json = Some(
+                    it.next()
+                        .ok_or_else(|| format!("{a} needs a value (a path or -)"))?,
+                )
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with("--") => return Err(format!("unknown option: {other}")),
+            other => opts.experiments.push(other.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    v.parse()
+        .map_err(|_| format!("{flag}: invalid value '{v}'"))
+}
+
+fn main() {
+    let opts = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                // --help
                 print_usage();
                 return;
             }
-            other => exps.push(other.to_string()),
+            eprintln!("error: {msg}");
+            print_usage();
+            std::process::exit(2);
         }
+    };
+    if opts.json.as_deref() == Some("-") {
+        TABLES_TO_STDERR.store(true, Ordering::Relaxed);
     }
-    if exps.is_empty() {
+    if opts.experiments.is_empty() {
+        eprintln!("error: no experiment named");
         print_usage();
         std::process::exit(2);
     }
-    let mut profile = RunParams::profile_default().scaled(scale);
-    let mut pipelinep = RunParams::pipeline_default().scaled(scale);
-    profile.seed = seed;
-    pipelinep.seed = seed;
+    let mut profile = RunParams::profile_default().scaled(opts.scale);
+    let mut pipelinep = RunParams::pipeline_default().scaled(opts.scale);
+    profile.seed = opts.seed;
+    pipelinep.seed = opts.seed;
 
     let all = [
-        "fig1", "fig8", "fig9", "fig10", "fig12", "fig13", "fig16", "fig18a", "fig18b", "table2",
-        "fig19", "ablate-queue", "ablate-filler", "ablate-confidence", "ablate-depth",
-        "prefetch", "limit",
+        "fig1",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig12",
+        "fig13",
+        "fig16",
+        "fig18a",
+        "fig18b",
+        "table2",
+        "fig19",
+        "ablate-queue",
+        "ablate-filler",
+        "ablate-confidence",
+        "ablate-depth",
+        "prefetch",
+        "limit",
     ];
-    let selected: Vec<String> = if exps.iter().any(|e| e == "all") {
+    let selected: Vec<String> = if opts.experiments.iter().any(|e| e == "all") {
         all.iter().map(|s| s.to_string()).collect()
     } else {
-        exps
+        opts.experiments.clone()
     };
-
+    // Validate everything up front so a typo late in the list doesn't
+    // discard an hour of completed experiments.
     for exp in &selected {
+        if !all.contains(&exp.as_str()) {
+            eprintln!("error: unknown experiment: {exp}");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(n) = opts.trace_last {
+        tracer().enable(n.max(1));
+    }
+
+    let mut report = RunReport::new(opts.seed, opts.scale);
+    for exp in &selected {
+        let span = obs::span::span(format!("experiment.{exp}"));
         let t0 = std::time::Instant::now();
-        match exp.as_str() {
+        let data = match exp.as_str() {
             "fig1" => run_fig1(profile),
             "fig8" => run_fig8(profile),
             "fig9" => run_fig9(profile),
@@ -72,22 +177,52 @@ fn main() {
             "ablate-depth" => run_ablate_depth(pipelinep),
             "prefetch" => run_prefetch(pipelinep),
             "limit" => run_limit(pipelinep),
-            other => {
-                eprintln!("unknown experiment: {other}");
-                print_usage();
-                std::process::exit(2);
-            }
-        }
+            _ => unreachable!("validated above"),
+        };
+        report.add_experiment(exp, data);
+        drop(span);
         eprintln!("[{exp} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+
+    if let Some(n) = opts.trace_last {
+        tracer().disable();
+        let events = tracer().last(n);
+        eprintln!(
+            "== trace: last {} of {} recorded events ==",
+            events.len(),
+            tracer().recorded()
+        );
+        for ev in &events {
+            eprintln!("  {ev}");
+        }
+        let section = JsonValue::object()
+            .with("recorded", tracer().recorded())
+            .with(
+                "events",
+                JsonValue::Arr(events.iter().map(|e| e.to_json()).collect()),
+            );
+        report.add_section("trace", section);
+    }
+
+    if let Some(dest) = &opts.json {
+        let text = report.finish().to_json_pretty();
+        if dest == "-" {
+            println!("{text}");
+        } else if let Err(e) = std::fs::write(dest, text + "\n") {
+            eprintln!("error: cannot write {dest}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
 fn print_usage() {
     eprintln!(
-        "usage: harness [--scale F] [--seed N] <experiment>...\n\
+        "usage: harness [--scale F] [--seed N] [--json PATH|-] [--trace-last N] <experiment>...\n\
          experiments: fig1 fig8 fig9 fig10 fig12 fig13 fig16 fig18a fig18b\n\
          table2 fig19 ablate-queue ablate-filler ablate-confidence\n\
-         ablate-depth prefetch limit all"
+         ablate-depth prefetch limit all\n\
+         --json writes a machine-readable run report (- for stdout)\n\
+         --trace-last records pipeline events and dumps the final N"
     );
 }
 
@@ -96,22 +231,43 @@ fn avg(xs: impl IntoIterator<Item = f64>) -> f64 {
     v.iter().sum::<f64>() / v.len() as f64
 }
 
-fn run_fig1(p: RunParams) {
+fn run_fig1(p: RunParams) -> JsonValue {
     let f = fig1(p);
-    println!("== Figure 1: hard-to-predict value sequence (parser spill/fill reload) ==");
-    println!("first 40 values (paper plots the last three digits):");
+    outln!("== Figure 1: hard-to-predict value sequence (parser spill/fill reload) ==");
+    outln!("first 40 values (paper plots the last three digits):");
     for chunk in f.sequence.iter().take(40).collect::<Vec<_>>().chunks(10) {
-        println!("  {}", chunk.iter().map(|v| format!("{v:>5}")).collect::<Vec<_>>().join(" "));
+        outln!(
+            "  {}",
+            chunk
+                .iter()
+                .map(|v| format!("{v:>5}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
     }
-    println!("local stride accuracy on this instruction: {} (paper: 4%)", pct(f.stride_accuracy));
-    println!("local DFCM accuracy on this instruction:   {} (paper: 2%)", pct(f.dfcm_accuracy));
-    println!(
+    outln!(
+        "local stride accuracy on this instruction: {} (paper: 4%)",
+        pct(f.stride_accuracy)
+    );
+    outln!(
+        "local DFCM accuracy on this instruction:   {} (paper: 2%)",
+        pct(f.dfcm_accuracy)
+    );
+    outln!(
         "gdiff(q=8) accuracy on this instruction:   {} (paper: ~100% via the correlated load)",
         pct(f.gdiff_accuracy)
     );
+    JsonValue::object()
+        .with(
+            "sequence_head",
+            f.sequence.iter().take(40).copied().collect::<Vec<u64>>(),
+        )
+        .with("stride_accuracy", f.stride_accuracy)
+        .with("dfcm_accuracy", f.dfcm_accuracy)
+        .with("gdiff_accuracy", f.gdiff_accuracy)
 }
 
-fn run_fig8(p: RunParams) {
+fn run_fig8(p: RunParams) -> JsonValue {
     let rows = fig8(p);
     let mut t = Table::new(
         "Figure 8: profile value-prediction accuracy (all value producers, unlimited tables)",
@@ -133,11 +289,24 @@ fn run_fig8(p: RunParams) {
         pct(avg(rows.iter().map(|r| r.gdiff_q8))),
         pct(avg(rows.iter().map(|r| r.gdiff_q32))),
     ]);
-    print!("{}", t.render());
-    println!("(paper averages: stride 57%, DFCM 64%, gdiff(q=8) 73%; gap recovers to 59.7% at q=32)");
+    out!("{}", t.render());
+    outln!("(paper averages: stride 57%, DFCM 64%, gdiff(q=8) 73%; gap recovers to 59.7% at q=32)");
+    rows_json(&rows, |r| {
+        JsonValue::object()
+            .with("bench", r.bench.to_string())
+            .with("stride", r.stride)
+            .with("dfcm", r.dfcm)
+            .with("gdiff_q8", r.gdiff_q8)
+            .with("gdiff_q32", r.gdiff_q32)
+    })
 }
 
-fn run_fig9(p: RunParams) {
+/// Wraps per-benchmark rows as `{"rows": [...]}`.
+fn rows_json<T>(rows: &[T], f: impl Fn(&T) -> JsonValue) -> JsonValue {
+    JsonValue::object().with("rows", JsonValue::Arr(rows.iter().map(f).collect()))
+}
+
+fn run_fig9(p: RunParams) -> JsonValue {
     let rows = fig9(p);
     let sizes = fig9_sizes();
     let mut headers: Vec<String> = vec!["bench".into()];
@@ -146,25 +315,40 @@ fn run_fig9(p: RunParams) {
         Some(n) => format!("{}K", n / 1024),
     }));
     let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t =
-        Table::new("Figure 9: gdiff table aliasing (conflict rate) per table size", &hdr_refs);
+    let mut t = Table::new(
+        "Figure 9: gdiff table aliasing (conflict rate) per table size",
+        &hdr_refs,
+    );
     for r in &rows {
         let mut cells = vec![r.bench.to_string()];
         cells.extend(r.conflict_rates.iter().map(|c| pct(*c)));
         t.row(cells);
     }
-    print!("{}", t.render());
+    out!("{}", t.render());
     let degr = avg(rows.iter().map(|r| r.accuracy_unlimited - r.accuracy_8k));
-    println!("mean accuracy loss of the 8K table vs unlimited: {} (paper: < 1%)", pct(degr));
+    outln!(
+        "mean accuracy loss of the 8K table vs unlimited: {} (paper: < 1%)",
+        pct(degr)
+    );
+    rows_json(&rows, |r| {
+        JsonValue::object()
+            .with("bench", r.bench.to_string())
+            .with("conflict_rates", r.conflict_rates.clone())
+            .with("accuracy_unlimited", r.accuracy_unlimited)
+            .with("accuracy_8k", r.accuracy_8k)
+    })
 }
 
-fn run_fig10(p: RunParams) {
+fn run_fig10(p: RunParams) -> JsonValue {
     let rows = fig10(p);
     let delays = fig10_delays();
     let mut headers: Vec<String> = vec!["bench".into()];
     headers.extend(delays.iter().map(|d| format!("T={d}")));
     let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new("Figure 10: gdiff(q=8) accuracy under value delay", &hdr_refs);
+    let mut t = Table::new(
+        "Figure 10: gdiff(q=8) accuracy under value delay",
+        &hdr_refs,
+    );
     for r in &rows {
         let mut cells = vec![r.bench.to_string()];
         cells.extend(r.accuracy.iter().map(|a| pct(*a)));
@@ -175,20 +359,34 @@ fn run_fig10(p: RunParams) {
         cells.push(pct(avg(rows.iter().map(|r| r.accuracy[i]))));
     }
     t.row(cells);
-    print!("{}", t.render());
-    println!("(paper averages: T=0 73% falling to T=16 52%)");
+    out!("{}", t.render());
+    outln!("(paper averages: T=0 73% falling to T=16 52%)");
+    rows_json(&rows, |r| {
+        JsonValue::object()
+            .with("bench", r.bench.to_string())
+            .with("accuracy", r.accuracy.clone())
+    })
+    .with(
+        "delays",
+        delays.iter().map(|d| *d as u64).collect::<Vec<u64>>(),
+    )
 }
 
-fn run_fig12(p: RunParams) {
+fn run_fig12(p: RunParams) -> JsonValue {
     let d = fig12(p);
-    println!("== Figure 12: value-delay distribution ({}) ==", d.bench);
+    outln!("== Figure 12: value-delay distribution ({}) ==", d.bench);
     for (i, f) in d.fractions.iter().enumerate() {
-        println!("  delay {i:>2}: {:>6}  {}", pct(*f), "#".repeat((f * 200.0) as usize));
+        outln!(
+            "  delay {i:>2}: {:>6}  {}",
+            pct(*f),
+            "#".repeat((f * 200.0) as usize)
+        );
     }
-    println!("mean value delay: {:.2} (paper: ~5)", d.mean);
+    outln!("mean value delay: {:.2} (paper: ~5)", d.mean);
+    d.to_json()
 }
 
-fn vp_table(title: &str, rows: &[PipelineVpRow], with_context: bool) {
+fn vp_table(title: &str, rows: &[PipelineVpRow], with_context: bool) -> JsonValue {
     let headers: Vec<&str> = if with_context {
         vec![
             "bench",
@@ -200,7 +398,13 @@ fn vp_table(title: &str, rows: &[PipelineVpRow], with_context: bool) {
             "context cov",
         ]
     } else {
-        vec!["bench", "gdiff acc", "gdiff cov", "stride acc", "stride cov"]
+        vec![
+            "bench",
+            "gdiff acc",
+            "gdiff cov",
+            "stride acc",
+            "stride cov",
+        ]
     };
     let mut t = Table::new(title, &headers);
     for r in rows {
@@ -229,26 +433,46 @@ fn vp_table(title: &str, rows: &[PipelineVpRow], with_context: bool) {
         cells.push(pct(avg(rows.iter().map(|r| r.context_coverage))));
     }
     t.row(cells);
-    print!("{}", t.render());
+    out!("{}", t.render());
+    rows_json(rows, |r| {
+        let mut j = JsonValue::object()
+            .with("bench", r.bench.to_string())
+            .with("gdiff_accuracy", r.gdiff_accuracy)
+            .with("gdiff_coverage", r.gdiff_coverage)
+            .with("stride_accuracy", r.stride_accuracy)
+            .with("stride_coverage", r.stride_coverage);
+        if with_context {
+            j = j
+                .with("context_accuracy", r.context_accuracy)
+                .with("context_coverage", r.context_coverage);
+        }
+        j
+    })
 }
 
-fn run_fig13(p: RunParams) {
+fn run_fig13(p: RunParams) -> JsonValue {
     let rows = fig13(p);
-    vp_table(
+    let j = vp_table(
         "Figure 13: gdiff with SGVQ (q=32) vs local stride, in-pipeline, 3-bit confidence",
         &rows,
         false,
     );
-    println!("(paper averages: gdiff 74% acc / 49% cov; stride 89% acc / 55% cov)");
+    outln!("(paper averages: gdiff 74% acc / 49% cov; stride 89% acc / 55% cov)");
+    j
 }
 
-fn run_fig16(p: RunParams) {
+fn run_fig16(p: RunParams) -> JsonValue {
     let rows = fig16(p);
-    vp_table("Figure 16: gdiff with HGVQ (q=32) vs local stride vs local context", &rows, true);
-    println!("(paper averages: gdiff 91% acc / 64% cov; stride 89% / 55%; context ~87% / 45%)");
+    let j = vp_table(
+        "Figure 16: gdiff with HGVQ (q=32) vs local stride vs local context",
+        &rows,
+        true,
+    );
+    outln!("(paper averages: gdiff 91% acc / 64% cov; stride 89% / 55%; context ~87% / 45%)");
+    j
 }
 
-fn run_fig18(p: RunParams, missing: bool) {
+fn run_fig18(p: RunParams, missing: bool) -> JsonValue {
     let rows = fig18(p, MarkovConfig::paper_256k());
     let (title, note) = if missing {
         (
@@ -263,7 +487,15 @@ fn run_fig18(p: RunParams, missing: bool) {
     };
     let mut t = Table::new(
         title,
-        &["bench", "ls cov", "ls acc", "gs cov", "gs acc", "markov cov", "markov acc"],
+        &[
+            "bench",
+            "ls cov",
+            "ls acc",
+            "gs cov",
+            "gs acc",
+            "markov cov",
+            "markov acc",
+        ],
     );
     let sel = |r: &Fig18Row| -> [(f64, f64); 3] {
         if missing {
@@ -292,12 +524,27 @@ fn run_fig18(p: RunParams, missing: bool) {
             }))
         })
         .collect();
-    t.row(std::iter::once("average".to_string()).chain(cols.iter().map(|c| pct(*c))).collect());
-    print!("{}", t.render());
-    println!("{note}");
+    t.row(
+        std::iter::once("average".to_string())
+            .chain(cols.iter().map(|c| pct(*c)))
+            .collect(),
+    );
+    out!("{}", t.render());
+    outln!("{note}");
+    rows_json(&rows, |r| {
+        let [s, g, m] = sel(r);
+        JsonValue::object()
+            .with("bench", r.bench.to_string())
+            .with("stride_coverage", s.0)
+            .with("stride_accuracy", s.1)
+            .with("gdiff_coverage", g.0)
+            .with("gdiff_accuracy", g.1)
+            .with("markov_coverage", m.0)
+            .with("markov_accuracy", m.1)
+    })
 }
 
-fn run_table2(p: RunParams) {
+fn run_table2(p: RunParams) -> JsonValue {
     let rows = table2(p);
     let mut t = Table::new(
         "Table 2: baseline IPC (4-way, 64-entry window, no value speculation)",
@@ -306,14 +553,25 @@ fn run_table2(p: RunParams) {
     for (b, ipc) in &rows {
         t.row(vec![b.to_string(), f2(*ipc)]);
     }
-    print!("{}", t.render());
+    out!("{}", t.render());
+    rows_json(&rows, |(b, ipc)| {
+        JsonValue::object()
+            .with("bench", b.to_string())
+            .with("ipc", *ipc)
+    })
 }
 
-fn run_fig19(p: RunParams) {
+fn run_fig19(p: RunParams) -> JsonValue {
     let rows = fig19(p);
     let mut t = Table::new(
         "Figure 19: speedup of value speculation over the no-VP baseline",
-        &["bench", "base IPC", "local stride", "local context", "gdiff (HGVQ)"],
+        &[
+            "bench",
+            "base IPC",
+            "local stride",
+            "local context",
+            "gdiff (HGVQ)",
+        ],
     );
     for r in &rows {
         t.row(vec![
@@ -331,11 +589,24 @@ fn run_fig19(p: RunParams) {
         speedup_pct(harmonic_mean(rows.iter().map(|r| r.local_context))),
         speedup_pct(harmonic_mean(rows.iter().map(|r| r.gdiff))),
     ]);
-    print!("{}", t.render());
-    println!("(paper: gdiff up to +53% (mcf), H-mean +19.2%; local stride H-mean ~+15%)");
+    out!("{}", t.render());
+    outln!("(paper: gdiff up to +53% (mcf), H-mean +19.2%; local stride H-mean ~+15%)");
+    rows_json(&rows, |r| {
+        JsonValue::object()
+            .with("bench", r.bench.to_string())
+            .with("baseline_ipc", r.baseline_ipc)
+            .with("local_stride", r.local_stride)
+            .with("local_context", r.local_context)
+            .with("gdiff", r.gdiff)
+    })
+    .with("hmean_gdiff", harmonic_mean(rows.iter().map(|r| r.gdiff)))
+    .with(
+        "hmean_local_stride",
+        harmonic_mean(rows.iter().map(|r| r.local_stride)),
+    )
 }
 
-fn run_ablate_queue(p: RunParams) {
+fn run_ablate_queue(p: RunParams) -> JsonValue {
     let rows = ablate_queue(p);
     let orders = ablate_queue_orders();
     let mut headers: Vec<String> = vec!["bench".into()];
@@ -347,14 +618,28 @@ fn run_ablate_queue(p: RunParams) {
         cells.extend(r.accuracy.iter().map(|a| pct(*a)));
         t.row(cells);
     }
-    print!("{}", t.render());
+    out!("{}", t.render());
+    rows_json(&rows, |r| {
+        JsonValue::object()
+            .with("bench", r.bench.to_string())
+            .with("accuracy", r.accuracy.clone())
+    })
+    .with(
+        "orders",
+        orders.iter().map(|o| *o as u64).collect::<Vec<u64>>(),
+    )
 }
 
-fn run_ablate_filler(p: RunParams) {
+fn run_ablate_filler(p: RunParams) -> JsonValue {
     let rows = ablate_filler(p);
     let mut t = Table::new(
         "Ablation: HGVQ filler choice (accuracy / coverage)",
-        &["bench", "stride filler", "last-value filler", "no filler (SGVQ)"],
+        &[
+            "bench",
+            "stride filler",
+            "last-value filler",
+            "no filler (SGVQ)",
+        ],
     );
     for r in &rows {
         let f = |(a, c): (f64, f64)| format!("{} / {}", pct(a), pct(c));
@@ -365,14 +650,30 @@ fn run_ablate_filler(p: RunParams) {
             f(r.no_filler),
         ]);
     }
-    print!("{}", t.render());
+    out!("{}", t.render());
+    let acc_cov = |(a, c): (f64, f64)| JsonValue::object().with("accuracy", a).with("coverage", c);
+    rows_json(&rows, |r| {
+        JsonValue::object()
+            .with("bench", r.bench.to_string())
+            .with("stride_filler", acc_cov(r.stride_filler))
+            .with("last_value_filler", acc_cov(r.last_value_filler))
+            .with("no_filler", acc_cov(r.no_filler))
+    })
 }
 
-fn run_prefetch(p: RunParams) {
+fn run_prefetch(p: RunParams) -> JsonValue {
     let rows = prefetch(p);
     let mut t = Table::new(
         "Extension: address-prediction-driven prefetching (IPC speedup over no-prefetch)",
-        &["bench", "miss rate", "base IPC", "next-line", "stride", "gdiff", "gdiff useful"],
+        &[
+            "bench",
+            "miss rate",
+            "base IPC",
+            "next-line",
+            "stride",
+            "gdiff",
+            "gdiff useful",
+        ],
     );
     for r in &rows {
         t.row(vec![
@@ -394,18 +695,40 @@ fn run_prefetch(p: RunParams) {
         speedup_pct(harmonic_mean(rows.iter().map(|r| r.gdiff))),
         String::new(),
     ]);
-    print!("{}", t.render());
-    println!("(the paper's §6/§8 future work: gdiff-detected global stride locality driving prefetch)");
+    out!("{}", t.render());
+    outln!(
+        "(the paper's §6/§8 future work: gdiff-detected global stride locality driving prefetch)"
+    );
+    rows_json(&rows, |r| {
+        JsonValue::object()
+            .with("bench", r.bench.to_string())
+            .with("base_miss_rate", r.base_miss_rate)
+            .with("base_ipc", r.base_ipc)
+            .with("next_line", r.next_line)
+            .with("stride", r.stride)
+            .with("gdiff", r.gdiff)
+            .with("gdiff_useful", r.gdiff_useful)
+    })
 }
 
-fn run_limit(p: RunParams) {
+fn run_limit(p: RunParams) -> JsonValue {
     let rows = limit(p);
     let mut t = Table::new(
         "Limit study: gdiff vs perfect value prediction (oracle)",
-        &["bench", "base IPC", "gdiff (HGVQ)", "oracle", "headroom captured"],
+        &[
+            "bench",
+            "base IPC",
+            "gdiff (HGVQ)",
+            "oracle",
+            "headroom captured",
+        ],
     );
     for r in &rows {
-        let captured = if r.oracle > 1.0 { (r.gdiff - 1.0) / (r.oracle - 1.0) } else { 0.0 };
+        let captured = if r.oracle > 1.0 {
+            (r.gdiff - 1.0) / (r.oracle - 1.0)
+        } else {
+            0.0
+        };
         t.row(vec![
             r.bench.to_string(),
             f2(r.base_ipc),
@@ -421,14 +744,27 @@ fn run_limit(p: RunParams) {
         speedup_pct(harmonic_mean(rows.iter().map(|r| r.oracle))),
         String::new(),
     ]);
-    print!("{}", t.render());
+    out!("{}", t.render());
+    rows_json(&rows, |r| {
+        JsonValue::object()
+            .with("bench", r.bench.to_string())
+            .with("base_ipc", r.base_ipc)
+            .with("gdiff", r.gdiff)
+            .with("oracle", r.oracle)
+    })
 }
 
-fn run_ablate_depth(p: RunParams) {
+fn run_ablate_depth(p: RunParams) -> JsonValue {
     let rows = ablate_depth(p);
     let mut t = Table::new(
         "Ablation: front-end depth (deeper pipelines, §8 future work)",
-        &["depth", "redirect", "mean value delay", "stride speedup", "gdiff speedup"],
+        &[
+            "depth",
+            "redirect",
+            "mean value delay",
+            "stride speedup",
+            "gdiff speedup",
+        ],
     );
     for r in &rows {
         t.row(vec![
@@ -439,21 +775,45 @@ fn run_ablate_depth(p: RunParams) {
             speedup_pct(r.gdiff_speedup),
         ]);
     }
-    print!("{}", t.render());
-    println!("(in this machine deeper front ends throttle dispatch via redirect cost, shrinking");
-    println!(" the in-flight value count and with it the headroom value prediction can exploit)");
+    out!("{}", t.render());
+    outln!("(in this machine deeper front ends throttle dispatch via redirect cost, shrinking");
+    outln!(" the in-flight value count and with it the headroom value prediction can exploit)");
+    rows_json(&rows, |r| {
+        JsonValue::object()
+            .with("depth", r.depth)
+            .with("redirect", r.redirect)
+            .with("mean_delay", r.mean_delay)
+            .with("stride_speedup", r.stride_speedup)
+            .with("gdiff_speedup", r.gdiff_speedup)
+    })
 }
 
-fn run_ablate_confidence(p: RunParams) {
+fn run_ablate_confidence(p: RunParams) -> JsonValue {
     let rows = ablate_confidence(p);
     let mut t = Table::new(
         "Ablation: confidence threshold on the HGVQ engine (means over benchmarks)",
         &["threshold", "accuracy", "coverage", "H-mean speedup"],
     );
     for r in &rows {
-        let thr = if r.threshold == 0 { "off (0)".to_string() } else { r.threshold.to_string() };
-        t.row(vec![thr, pct(r.accuracy), pct(r.coverage), speedup_pct(r.speedup)]);
+        let thr = if r.threshold == 0 {
+            "off (0)".to_string()
+        } else {
+            r.threshold.to_string()
+        };
+        t.row(vec![
+            thr,
+            pct(r.accuracy),
+            pct(r.coverage),
+            speedup_pct(r.speedup),
+        ]);
     }
-    print!("{}", t.render());
-    println!("(paper uses threshold 4: +2 correct / -1 incorrect, 3-bit counters)");
+    out!("{}", t.render());
+    outln!("(paper uses threshold 4: +2 correct / -1 incorrect, 3-bit counters)");
+    rows_json(&rows, |r| {
+        JsonValue::object()
+            .with("threshold", r.threshold as u64)
+            .with("accuracy", r.accuracy)
+            .with("coverage", r.coverage)
+            .with("speedup", r.speedup)
+    })
 }

@@ -25,7 +25,10 @@ pub fn run_pipeline_configured(
     config: PipelineConfig,
     params: RunParams,
 ) -> SimStats {
-    let trace = bench.build(params.seed).take((params.warmup + params.measure + 50_000) as usize * 2);
+    let _span = obs::span::span("pipeline.run");
+    let trace = bench
+        .build(params.seed)
+        .take((params.warmup + params.measure + 50_000) as usize * 2);
     let mut sim = Simulator::new(config, engine);
     if let Some(p) = prefetcher {
         sim = sim.with_prefetcher(p);
@@ -46,6 +49,20 @@ pub struct DelayDistribution {
     pub fractions: Vec<f64>,
     /// Mean delay (the paper reports roughly 5).
     pub mean: f64,
+    /// The full simulation statistics behind the distribution (cycles,
+    /// IPC, predictor stats, delay percentiles) for run reports.
+    pub stats: SimStats,
+}
+
+impl DelayDistribution {
+    /// The distribution plus the underlying [`SimStats`] as JSON.
+    pub fn to_json(&self) -> obs::JsonValue {
+        self.stats
+            .to_json()
+            .with("bench", self.bench.to_string())
+            .with("fractions", self.fractions.clone())
+            .with("mean_delay", self.mean)
+    }
 }
 
 /// Regenerates Figure 12: the distribution of value delays (values
@@ -57,6 +74,7 @@ pub fn fig12(params: RunParams) -> DelayDistribution {
         bench,
         fractions: (0..=20).map(|d| stats.delays.fraction(d)).collect(),
         mean: stats.delays.mean(),
+        stats,
     }
 }
 
@@ -83,7 +101,11 @@ pub struct PipelineVpRow {
     pub context_coverage: f64,
 }
 
-fn vp_comparison(params: RunParams, gdiff: fn() -> Box<dyn VpEngine>, with_context: bool) -> Vec<PipelineVpRow> {
+fn vp_comparison(
+    params: RunParams,
+    gdiff: fn() -> Box<dyn VpEngine>,
+    with_context: bool,
+) -> Vec<PipelineVpRow> {
     Benchmark::ALL
         .into_iter()
         .map(|bench| {
@@ -240,7 +262,10 @@ pub fn ablate_confidence(params: RunParams) -> Vec<ConfidenceRow> {
             let mut ratios = Vec::new();
             for bench in Benchmark::ALL {
                 let base = run_pipeline(bench, Box::new(NoVp), params).ipc();
-                let config = ConfidenceConfig { threshold, ..ConfidenceConfig::default() };
+                let config = ConfidenceConfig {
+                    threshold,
+                    ..ConfidenceConfig::default()
+                };
                 let p = HgvqPredictor::with_config(
                     Capacity::Entries(8192),
                     32,
@@ -358,7 +383,12 @@ pub fn limit(params: RunParams) -> Vec<LimitRow> {
             let base = run_pipeline(bench, Box::new(NoVp), params).ipc();
             let gd = run_pipeline(bench, Box::new(HgvqEngine::paper_default()), params).ipc();
             let oracle = run_pipeline(bench, Box::new(OracleEngine), params).ipc();
-            LimitRow { bench, base_ipc: base, gdiff: gd / base, oracle: oracle / base }
+            LimitRow {
+                bench,
+                base_ipc: base,
+                gdiff: gd / base,
+                oracle: oracle / base,
+            }
         })
         .collect()
 }
@@ -386,8 +416,11 @@ pub fn ablate_depth(params: RunParams) -> Vec<DepthRow> {
     [(2u64, 3u64), (4, 6), (8, 10), (12, 16)]
         .into_iter()
         .map(|(depth, redirect)| {
-            let config =
-                PipelineConfig { front_end_depth: depth, redirect_penalty: redirect, ..PipelineConfig::r10k() };
+            let config = PipelineConfig {
+                front_end_depth: depth,
+                redirect_penalty: redirect,
+                ..PipelineConfig::r10k()
+            };
             let mut gd_ratios = Vec::new();
             let mut st_ratios = Vec::new();
             let mut delay = 0.0;
@@ -437,6 +470,32 @@ mod tests {
     }
 
     #[test]
+    fn fig12_json_carries_sim_stats_and_percentiles() {
+        let d = fig12(RunParams::tiny());
+        let j = d.to_json();
+        // The acceptance surface of the run report: cycles, IPC, vp
+        // accuracy/coverage, and delay percentiles must all be present
+        // and survive a parse round trip.
+        let text = j.to_json();
+        let p = obs::JsonValue::parse(&text).expect("valid JSON");
+        assert!(p.path("cycles").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        assert!(p.path("ipc").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        assert!(p.path("vp.coverage").and_then(|v| v.as_f64()).is_some());
+        assert!(p
+            .path("vp.gated_accuracy")
+            .and_then(|v| v.as_f64())
+            .is_some());
+        assert!(p.path("delays.p50").and_then(|v| v.as_f64()).is_some());
+        assert!(p.path("delays.p99").and_then(|v| v.as_f64()).is_some());
+        assert_eq!(p.path("bench").and_then(|v| v.as_str()), Some("vortex"));
+        // And the pipeline runs were timed via spans.
+        let timings = obs::span::snapshot();
+        assert!(timings
+            .iter()
+            .any(|(n, s)| n == "pipeline.run" && s.count > 0));
+    }
+
+    #[test]
     fn fig16_gdiff_dominates_locals() {
         let rows = fig16(RunParams::tiny());
         let g_cov: f64 = rows.iter().map(|r| r.gdiff_coverage).sum::<f64>() / rows.len() as f64;
@@ -473,8 +532,17 @@ mod tests {
         for bench in [Benchmark::Gcc, Benchmark::Twolf] {
             let rows = limit(p);
             let r = rows.iter().find(|r| r.bench == bench).unwrap();
-            assert!(r.oracle >= r.gdiff - 0.02, "{bench}: oracle {} vs gdiff {}", r.oracle, r.gdiff);
-            assert!(r.oracle > 1.05, "{bench}: perfect VP must clearly help: {}", r.oracle);
+            assert!(
+                r.oracle >= r.gdiff - 0.02,
+                "{bench}: oracle {} vs gdiff {}",
+                r.oracle,
+                r.gdiff
+            );
+            assert!(
+                r.oracle > 1.05,
+                "{bench}: perfect VP must clearly help: {}",
+                r.oracle
+            );
         }
     }
 
@@ -482,14 +550,30 @@ mod tests {
     fn prefetching_helps_memory_bound_benchmarks() {
         let rows = prefetch(RunParams::tiny());
         let mcf = rows.iter().find(|r| r.bench == Benchmark::Mcf).unwrap();
-        assert!(mcf.base_miss_rate > 0.2, "mcf misses a lot: {}", mcf.base_miss_rate);
+        assert!(
+            mcf.base_miss_rate > 0.2,
+            "mcf misses a lot: {}",
+            mcf.base_miss_rate
+        );
         // Bump allocation gives mcf strong spatial locality: next-line
         // prefetching must clearly win there.
-        assert!(mcf.next_line > 1.05, "next-line must speed mcf up: {}", mcf.next_line);
+        assert!(
+            mcf.next_line > 1.05,
+            "next-line must speed mcf up: {}",
+            mcf.next_line
+        );
         // The gdiff prefetcher is coverage-limited on the jittered chase
         // but must never hurt, and what it prefetches must be useful.
-        assert!(mcf.gdiff >= 0.995, "gdiff prefetching must not hurt: {}", mcf.gdiff);
-        assert!(mcf.gdiff_useful > 0.5, "gdiff prefetches are accurate: {}", mcf.gdiff_useful);
+        assert!(
+            mcf.gdiff >= 0.995,
+            "gdiff prefetching must not hurt: {}",
+            mcf.gdiff
+        );
+        assert!(
+            mcf.gdiff_useful > 0.5,
+            "gdiff prefetches are accurate: {}",
+            mcf.gdiff_useful
+        );
     }
 
     #[test]

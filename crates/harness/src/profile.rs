@@ -19,6 +19,7 @@ pub fn run_profile<P: ValuePredictor>(
     predictor: &mut P,
     params: RunParams,
 ) -> PredictorStats {
+    let _span = obs::span::span("profile.run");
     let mut stats = PredictorStats::new();
     for (n, inst) in value_stream(bench, params).enumerate() {
         let predicted = predictor.predict(inst.pc);
@@ -61,6 +62,7 @@ pub struct Fig1 {
 
 /// Regenerates Figure 1 from the parser model.
 pub fn fig1(params: RunParams) -> Fig1 {
+    let _span = obs::span::span("profile.run");
     // The reload of the parser model's first correlation kernel.
     let probe = workloads::kernels::CorrelationKernel::new(
         workloads::kernels::KernelSlot::for_site(0),
@@ -134,10 +136,26 @@ pub fn fig8(params: RunParams) -> Vec<Fig8Row> {
     Benchmark::ALL
         .into_iter()
         .map(|bench| {
-            let stride = run_profile(bench, &mut StridePredictor::new(Capacity::Unbounded), params);
-            let dfcm = run_profile(bench, &mut DfcmPredictor::new(Capacity::Unbounded, 4, 16), params);
-            let g8 = run_profile(bench, &mut GDiffPredictor::new(Capacity::Unbounded, 8), params);
-            let g32 = run_profile(bench, &mut GDiffPredictor::new(Capacity::Unbounded, 32), params);
+            let stride = run_profile(
+                bench,
+                &mut StridePredictor::new(Capacity::Unbounded),
+                params,
+            );
+            let dfcm = run_profile(
+                bench,
+                &mut DfcmPredictor::new(Capacity::Unbounded, 4, 16),
+                params,
+            );
+            let g8 = run_profile(
+                bench,
+                &mut GDiffPredictor::new(Capacity::Unbounded, 8),
+                params,
+            );
+            let g32 = run_profile(
+                bench,
+                &mut GDiffPredictor::new(Capacity::Unbounded, 32),
+                params,
+            );
             Fig8Row {
                 bench,
                 stride: stride.accuracy(),
@@ -204,7 +222,12 @@ pub fn fig9(params: RunParams) -> Vec<Fig9Row> {
                     accuracy_8k = stats.accuracy();
                 }
             }
-            Fig9Row { bench, conflict_rates, accuracy_unlimited, accuracy_8k }
+            Fig9Row {
+                bench,
+                conflict_rates,
+                accuracy_unlimited,
+                accuracy_8k,
+            }
         })
         .collect()
 }
@@ -300,7 +323,13 @@ mod tests {
         assert!(dfcm > stride, "dfcm {dfcm} vs stride {stride}");
         // gDiff beats local stride on every benchmark ("consistently").
         for r in &rows {
-            assert!(r.gdiff_q8 > r.stride - 0.02, "{}: {} vs {}", r.bench, r.gdiff_q8, r.stride);
+            assert!(
+                r.gdiff_q8 > r.stride - 0.02,
+                "{}: {} vs {}",
+                r.bench,
+                r.gdiff_q8,
+                r.stride
+            );
         }
     }
 
@@ -316,7 +345,11 @@ mod tests {
         );
         // gap sits at (or within noise of) the bottom for gDiff(q8).
         let min = rows.iter().map(|r| r.gdiff_q8).fold(f64::MAX, f64::min);
-        assert!(gap.gdiff_q8 - min < 0.06, "gap near the minimum: {} vs {min}", gap.gdiff_q8);
+        assert!(
+            gap.gdiff_q8 - min < 0.06,
+            "gap near the minimum: {} vs {min}",
+            gap.gdiff_q8
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Plain-text table rendering for experiment output.
+//! Plain-text table rendering and machine-readable run reports.
 
+use obs::JsonValue;
 use std::fmt::Write as _;
 
 /// A simple aligned text table.
@@ -46,11 +47,61 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        // saturating_sub: a zero-column table must render a bare title, not
+        // underflow on `len() - 1`.
+        let rule = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(rule));
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
         out
+    }
+}
+
+/// Builder for the harness's machine-readable JSON run report
+/// (`--json <path>` / `--json -`).
+///
+/// The report is one self-describing object: run parameters, one entry per
+/// executed experiment, and the wall-time span table. The schema string
+/// lets trajectory tooling (`BENCH_*.json` consumers) detect layout
+/// changes.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    root: JsonValue,
+    experiments: JsonValue,
+}
+
+impl RunReport {
+    /// Schema identifier embedded in every report.
+    pub const SCHEMA: &'static str = "gdiff-run-report/v1";
+
+    /// Starts a report for one harness invocation.
+    pub fn new(seed: u64, scale: f64) -> Self {
+        RunReport {
+            root: JsonValue::object()
+                .with("schema", Self::SCHEMA)
+                .with("seed", seed)
+                .with("scale", scale),
+            experiments: JsonValue::object(),
+        }
+    }
+
+    /// Records one experiment's results.
+    pub fn add_experiment(&mut self, name: &str, data: JsonValue) {
+        self.experiments.set(name, data);
+    }
+
+    /// Attaches an extra top-level section (e.g. the trace tail).
+    pub fn add_section(&mut self, name: &str, data: JsonValue) {
+        self.root.set(name, data);
+    }
+
+    /// Finishes the report, attaching the accumulated timing spans, and
+    /// returns the JSON tree.
+    pub fn finish(mut self) -> JsonValue {
+        self.root.set("experiments", self.experiments);
+        self.root.set("timings", obs::span::to_json());
+        self.root
     }
 }
 
@@ -99,5 +150,45 @@ mod tests {
         assert_eq!(f2(1.234), "1.23");
         assert_eq!(speedup_pct(1.19), "+19.0%");
         assert_eq!(speedup_pct(0.95), "-5.0%");
+    }
+
+    #[test]
+    fn zero_column_table_renders_without_panicking() {
+        // Regression: `2 * (widths.len() - 1)` underflowed on an empty
+        // header list and panicked in debug builds.
+        let t = Table::new("empty", &[]);
+        let s = t.render();
+        assert!(s.contains("empty"));
+    }
+
+    #[test]
+    fn single_column_table_renders() {
+        let mut t = Table::new("one", &["only"]);
+        t.row(vec!["x".into()]);
+        assert!(t.render().contains("only"));
+    }
+
+    #[test]
+    fn run_report_round_trips_through_the_parser() {
+        let mut r = RunReport::new(42, 1.0);
+        r.add_experiment(
+            "fig12",
+            JsonValue::object().with("ipc", 1.25).with("cycles", 100),
+        );
+        let j = r.finish();
+        let text = j.to_json_pretty();
+        let parsed = JsonValue::parse(&text).expect("report must be valid JSON");
+        assert_eq!(
+            parsed.path("schema").and_then(|v| v.as_str()),
+            Some(RunReport::SCHEMA)
+        );
+        assert_eq!(parsed.path("seed").and_then(|v| v.as_f64()), Some(42.0));
+        assert_eq!(
+            parsed
+                .path("experiments.fig12.ipc")
+                .and_then(|v| v.as_f64()),
+            Some(1.25)
+        );
+        assert!(parsed.get("timings").is_some(), "span table always present");
     }
 }

@@ -1,0 +1,28 @@
+//! Zero-dependency telemetry for the gdiff workspace.
+//!
+//! Everything here is std-only and hand-rolled, because the build
+//! environment has no registry access and the simulator's hot loops
+//! cannot afford heavyweight instrumentation:
+//!
+//! - [`metrics`] — a registry of named counters, gauges, and mergeable
+//!   linear-bucket histograms (p50/p90/p99). Hot paths update through
+//!   pre-resolved ids; the harness exports the whole registry as JSON.
+//! - [`trace`] — a global, cycle-stamped ring-buffer event tracer for
+//!   pipeline lifecycle events and predictor decisions. Off by default;
+//!   when off each trace site costs one relaxed atomic load.
+//! - [`span`] — RAII wall-time spans aggregated per name, for
+//!   per-experiment timing in run reports.
+//! - [`json`] — a small JSON value tree with a writer and a strict
+//!   parser, used for the harness's machine-readable `--json` reports.
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use json::JsonValue;
+pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, Registry};
+pub use span::{span, SpanGuard, SpanStats};
+pub use trace::{tracer, TraceEvent, TraceKind, Tracer};

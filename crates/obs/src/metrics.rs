@@ -1,0 +1,472 @@
+//! The metrics registry: counters, gauges, and mergeable histograms.
+//!
+//! Hot-path consumers (the pipeline simulator) register metrics once at
+//! construction and hold typed ids; updating through an id is a bounds
+//! check and an add — no hashing or string work per event. End-of-run
+//! consumers (the harness) export the whole registry as JSON.
+
+use crate::json::JsonValue;
+use std::collections::HashMap;
+
+/// Handle to a counter in a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a gauge in a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a histogram in a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A linear-bucket histogram over `0..=max` with clamping at the top
+/// bucket, mergeable across runs.
+///
+/// This is the shape every distribution in the workspace needs (value
+/// delays, GVQ distances, reissue depths): small dense integer domains
+/// where exact counts per bucket matter and out-of-range observations
+/// clamp rather than drop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// A histogram with buckets `0..=max`; larger observations clamp.
+    pub fn new(max: usize) -> Self {
+        Histogram {
+            buckets: vec![0; max + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let idx = (value as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when bucket counts differ — merging histograms of different
+    /// shapes silently misattributes the tail.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram merge requires identical bucket layouts"
+        );
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Count in bucket `d`.
+    pub fn count(&self, d: usize) -> u64 {
+        self.buckets.get(d).copied().unwrap_or(0)
+    }
+
+    /// Fraction of observations in bucket `d`.
+    pub fn fraction(&self, d: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(d) as f64 / self.total as f64
+        }
+    }
+
+    /// Mean observation. The mean uses *recorded* values, so observations
+    /// beyond the top bucket contribute their true magnitude.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The `q`-quantile bucket (`0.0 < q <= 1.0`): the smallest bucket
+    /// whose cumulative count reaches `q` of the total. Returns 0 on an
+    /// empty histogram. Observations clamped into the top bucket report
+    /// the top bucket.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let need = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (d, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= need {
+                return d as u64;
+            }
+        }
+        (self.buckets.len() - 1) as u64
+    }
+
+    /// Median bucket.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile bucket.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile bucket.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bucket count (`max + 1`).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Summary (total, mean, p50/p90/p99) as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .with("total", self.total)
+            .with("mean", self.mean())
+            .with("p50", self.p50())
+            .with("p90", self.p90())
+            .with("p99", self.p99())
+    }
+
+    /// Like [`to_json`](Self::to_json) plus the full per-bucket fractions.
+    pub fn to_json_with_buckets(&self) -> JsonValue {
+        let fractions: Vec<f64> = (0..self.buckets.len()).map(|d| self.fraction(d)).collect();
+        self.to_json().with("fractions", fractions)
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Registration is idempotent per name; ids are stable for the registry's
+/// lifetime. [`merge`](Self::merge) folds another registry in by name —
+/// the aggregation primitive for multi-run experiments.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+    index: HashMap<String, (Kind, usize)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or finds) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already registered as a different kind.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        match self.index.get(name) {
+            Some(&(Kind::Counter, i)) => CounterId(i),
+            Some(_) => panic!("metric '{name}' already registered with a different kind"),
+            None => {
+                let i = self.counters.len();
+                self.counters.push((name.to_string(), 0));
+                self.index.insert(name.to_string(), (Kind::Counter, i));
+                CounterId(i)
+            }
+        }
+    }
+
+    /// Registers (or finds) a gauge.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        match self.index.get(name) {
+            Some(&(Kind::Gauge, i)) => GaugeId(i),
+            Some(_) => panic!("metric '{name}' already registered with a different kind"),
+            None => {
+                let i = self.gauges.len();
+                self.gauges.push((name.to_string(), 0.0));
+                self.index.insert(name.to_string(), (Kind::Gauge, i));
+                GaugeId(i)
+            }
+        }
+    }
+
+    /// Registers (or finds) a histogram with buckets `0..=max`.
+    pub fn histogram(&mut self, name: &str, max: usize) -> HistogramId {
+        match self.index.get(name) {
+            Some(&(Kind::Histogram, i)) => HistogramId(i),
+            Some(_) => panic!("metric '{name}' already registered with a different kind"),
+            None => {
+                let i = self.histograms.len();
+                self.histograms
+                    .push((name.to_string(), Histogram::new(max)));
+                self.index.insert(name.to_string(), (Kind::Histogram, i));
+                HistogramId(i)
+            }
+        }
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1 += n;
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Current value of a counter.
+    #[inline]
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Resets a counter to zero.
+    pub fn reset_counter(&mut self, id: CounterId) {
+        self.counters[id.0].1 = 0;
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].1
+    }
+
+    /// Records one observation into a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].1.record(value);
+    }
+
+    /// Read access to a histogram.
+    pub fn histogram_value(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0].1
+    }
+
+    /// Replaces a histogram's contents with a fresh one of the same shape.
+    pub fn reset_histogram(&mut self, id: HistogramId) {
+        let h = &mut self.histograms[id.0].1;
+        *h = Histogram::new(h.len() - 1);
+    }
+
+    /// Looks a counter up by name (reporting paths).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        match self.index.get(name) {
+            Some(&(Kind::Counter, i)) => Some(self.counters[i].1),
+            _ => None,
+        }
+    }
+
+    /// Looks a histogram up by name (reporting paths).
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        match self.index.get(name) {
+            Some(&(Kind::Histogram, i)) => Some(&self.histograms[i].1),
+            _ => None,
+        }
+    }
+
+    /// Merges `other` into `self` by metric name: counters add, gauges
+    /// take `other`'s value, histograms merge bucket-wise. Metrics unknown
+    /// to `self` are registered.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            let id = self.counter(name);
+            self.add(id, *v);
+        }
+        for (name, v) in &other.gauges {
+            let id = self.gauge(name);
+            self.set_gauge(id, *v);
+        }
+        for (name, h) in &other.histograms {
+            let id = self.histogram(name, h.len() - 1);
+            self.histograms[id.0].1.merge(h);
+        }
+    }
+
+    /// Exports every metric as a JSON object keyed by kind.
+    pub fn to_json(&self) -> JsonValue {
+        let counters: JsonValue = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::from(*v)))
+            .collect();
+        let gauges: JsonValue = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::from(*v)))
+            .collect();
+        let histograms: JsonValue = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_json()))
+            .collect();
+        JsonValue::object()
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("histograms", histograms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let mut r = Registry::new();
+        let c = r.counter("sim.retired");
+        let g = r.gauge("sim.ipc");
+        r.add(c, 10);
+        r.inc(c);
+        r.set_gauge(g, 1.5);
+        assert_eq!(r.counter_value(c), 11);
+        assert_eq!(r.gauge_value(g), 1.5);
+        assert_eq!(r.counter("sim.retired"), c, "registration is idempotent");
+        assert_eq!(r.counter_by_name("sim.retired"), Some(11));
+        r.reset_counter(c);
+        assert_eq!(r.counter_value(c), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_are_rejected() {
+        let mut r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new(16);
+        // 100 observations: 50 at 1, 40 at 5, 10 at 12.
+        for _ in 0..50 {
+            h.record(1);
+        }
+        for _ in 0..40 {
+            h.record(5);
+        }
+        for _ in 0..10 {
+            h.record(12);
+        }
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p90(), 5);
+        assert_eq!(h.p99(), 12);
+        assert_eq!(h.percentile(1.0), 12);
+        assert_eq!(Histogram::new(4).p99(), 0, "empty histogram");
+    }
+
+    #[test]
+    fn histogram_clamps_at_top_bucket() {
+        let mut h = Histogram::new(4);
+        h.record(100);
+        h.record(0);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.percentile(1.0), 4, "clamped tail reports the top bucket");
+        assert!(
+            (h.mean() - 50.0).abs() < 1e-12,
+            "mean keeps true magnitudes"
+        );
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise() {
+        let mut a = Histogram::new(8);
+        let mut b = Histogram::new(8);
+        a.record(2);
+        a.record(3);
+        b.record(3);
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(3), 2);
+        assert_eq!(a.count(8), 1);
+        assert_eq!(a.fraction(3), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bucket layouts")]
+    fn histogram_merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(8);
+        a.merge(&Histogram::new(4));
+    }
+
+    #[test]
+    fn registry_merge_folds_by_name() {
+        let mut a = Registry::new();
+        let ca = a.counter("n");
+        a.add(ca, 5);
+        let ha = a.histogram("d", 8);
+        a.observe(ha, 1);
+
+        let mut b = Registry::new();
+        let cb = b.counter("n");
+        b.add(cb, 7);
+        let hb = b.histogram("d", 8);
+        b.observe(hb, 2);
+        let only_b = b.counter("only_b");
+        b.inc(only_b);
+
+        a.merge(&b);
+        assert_eq!(a.counter_by_name("n"), Some(12));
+        assert_eq!(a.counter_by_name("only_b"), Some(1));
+        assert_eq!(a.histogram_by_name("d").unwrap().total(), 2);
+    }
+
+    #[test]
+    fn registry_exports_json() {
+        let mut r = Registry::new();
+        let c = r.counter("retired");
+        r.add(c, 3);
+        let h = r.histogram("delay", 4);
+        r.observe(h, 2);
+        let j = r.to_json();
+        assert_eq!(
+            j.path("counters.retired").and_then(|v| v.as_f64()),
+            Some(3.0)
+        );
+        assert_eq!(
+            j.path("histograms.delay.total").and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+        // And the export survives a JSON round trip.
+        let parsed = crate::json::JsonValue::parse(&j.to_json()).unwrap();
+        assert_eq!(parsed, j);
+    }
+}

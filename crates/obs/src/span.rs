@@ -1,0 +1,114 @@
+//! RAII wall-time spans.
+//!
+//! A [`SpanGuard`] measures the wall time between its creation and drop and
+//! folds it into a process-global table keyed by span name. The harness
+//! wraps each experiment in a span and exports the table into the JSON run
+//! report, so trajectory files carry per-experiment timings for free.
+//!
+//! ```
+//! {
+//!     let _span = obs::span::span("doctest.work");
+//!     // ... measured work ...
+//! }
+//! let timings = obs::span::snapshot();
+//! assert!(timings.iter().any(|(name, _)| name == "doctest.work"));
+//! ```
+
+use crate::json::JsonValue;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// How many spans with this name have completed.
+    pub count: u64,
+    /// Total wall time across those spans.
+    pub total: Duration,
+}
+
+static SPANS: Mutex<Vec<(String, SpanStats)>> = Mutex::new(Vec::new());
+
+/// Measures from construction to drop, then folds the elapsed time into
+/// the global table under `name`.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: String,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        let mut spans = SPANS.lock().unwrap();
+        match spans.iter_mut().find(|(n, _)| *n == self.name) {
+            Some((_, s)) => {
+                s.count += 1;
+                s.total += elapsed;
+            }
+            None => spans.push((
+                std::mem::take(&mut self.name),
+                SpanStats {
+                    count: 1,
+                    total: elapsed,
+                },
+            )),
+        }
+    }
+}
+
+/// Starts a named span.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    SpanGuard {
+        name: name.into(),
+        start: Instant::now(),
+    }
+}
+
+/// All completed spans in first-seen order.
+pub fn snapshot() -> Vec<(String, SpanStats)> {
+    SPANS.lock().unwrap().clone()
+}
+
+/// Clears the global table (start of a fresh run).
+pub fn reset() {
+    SPANS.lock().unwrap().clear();
+}
+
+/// The table as a JSON object: `name -> {count, total_ms}`.
+pub fn to_json() -> JsonValue {
+    snapshot()
+        .into_iter()
+        .map(|(name, s)| {
+            let entry = JsonValue::object()
+                .with("count", s.count)
+                .with("total_ms", s.total.as_secs_f64() * 1e3);
+            (name, entry)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_aggregate_by_name() {
+        reset();
+        for _ in 0..3 {
+            let _g = span("test.span.alpha");
+        }
+        {
+            let _g = span("test.span.beta");
+        }
+        let snap = snapshot();
+        let alpha = snap.iter().find(|(n, _)| n == "test.span.alpha").unwrap();
+        assert_eq!(alpha.1.count, 3);
+        let j = to_json();
+        // Span names contain dots, so index with `get` rather than `path`.
+        let beta_count = j.get("test.span.beta").and_then(|v| v.get("count"));
+        assert_eq!(beta_count.and_then(|v| v.as_f64()), Some(1.0));
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

@@ -30,7 +30,10 @@ impl BranchPredictor {
     /// a nonzero power of two.
     pub fn new(counter_bits: u32, btb_entries: usize) -> Self {
         assert!((4..=24).contains(&counter_bits), "counter bits in 4..=24");
-        assert!(btb_entries > 0 && btb_entries.is_power_of_two(), "btb power of two");
+        assert!(
+            btb_entries > 0 && btb_entries.is_power_of_two(),
+            "btb power of two"
+        );
         BranchPredictor {
             counters: vec![1; 1 << counter_bits], // weakly not-taken
             history: 0,
@@ -73,8 +76,8 @@ impl BranchPredictor {
                     self.counters[ci] = self.counters[ci].saturating_sub(1);
                 }
                 // history: true outcome (perfect repair)
-                self.history = ((self.history << 1) | inst.taken as u64)
-                    & ((1 << self.history_bits) - 1);
+                self.history =
+                    ((self.history << 1) | inst.taken as u64) & ((1 << self.history_bits) - 1);
                 // target check
                 let bi = self.btb_index(inst.pc);
                 let target_ok = !inst.taken

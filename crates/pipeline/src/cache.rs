@@ -46,9 +46,21 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
         assert!(config.ways > 0, "ways must be nonzero");
-        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a nonzero power of two");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
-        Cache { config, sets: vec![Vec::new(); sets], clock: 0, hits: 0, misses: 0 }
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a nonzero power of two"
+        );
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Cache {
+            config,
+            sets: vec![Vec::new(); sets],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Accesses `addr`, allocating on miss. Returns `true` on a hit.
@@ -66,10 +78,16 @@ impl Cache {
         }
         self.misses += 1;
         if set.len() < ways {
-            set.push(Line { tag: line_addr, lru: clock });
+            set.push(Line {
+                tag: line_addr,
+                lru: clock,
+            });
         } else {
             let victim = set.iter_mut().min_by_key(|l| l.lru).expect("nonempty");
-            *victim = Line { tag: line_addr, lru: clock };
+            *victim = Line {
+                tag: line_addr,
+                lru: clock,
+            };
         }
         false
     }
@@ -113,7 +131,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways x 64B lines = 256 B
-        Cache::new(CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64, miss_penalty: 14 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+            miss_penalty: 14,
+        })
     }
 
     #[test]

@@ -61,8 +61,18 @@ impl PipelineConfig {
             rob_entries: 64,
             front_end_depth: 2,
             redirect_penalty: 3,
-            icache: CacheConfig { size_bytes: 64 * 1024, ways: 4, line_bytes: 64, miss_penalty: 12 },
-            dcache: CacheConfig { size_bytes: 64 * 1024, ways: 4, line_bytes: 64, miss_penalty: 14 },
+            icache: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                miss_penalty: 12,
+            },
+            dcache: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                miss_penalty: 14,
+            },
             dcache_hit_latency: 2,
         }
     }
@@ -91,7 +101,12 @@ mod tests {
 
     #[test]
     fn cache_sets_compute() {
-        let c = CacheConfig { size_bytes: 64 * 1024, ways: 4, line_bytes: 64, miss_penalty: 14 };
+        let c = CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            miss_penalty: 14,
+        };
         assert_eq!(c.sets(), 256);
     }
 }

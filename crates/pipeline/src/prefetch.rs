@@ -41,7 +41,10 @@ pub struct NextLinePrefetcher {
 impl NextLinePrefetcher {
     /// Creates a next-line prefetcher for the given line size.
     pub fn new(line_bytes: u64) -> Self {
-        NextLinePrefetcher { last: predictors::PcTable::new(Capacity::Entries(4096)), line_bytes }
+        NextLinePrefetcher {
+            last: predictors::PcTable::new(Capacity::Entries(4096)),
+            line_bytes,
+        }
     }
 }
 
@@ -180,7 +183,11 @@ mod tests {
             p.train(i, 0x40, 0x1000 + i * 64);
         }
         let (i, a) = fired.expect("must eventually prefetch");
-        assert_eq!(a, 0x1000 + i * 64, "prefetch address must be the next stride");
+        assert_eq!(
+            a,
+            0x1000 + i * 64,
+            "prefetch address must be the next stride"
+        );
     }
 
     #[test]
@@ -200,7 +207,10 @@ mod tests {
             }
             p.train(seq + 1, 0xb0, a_addr + 8);
         }
-        assert!(hits * 2 > total, "gdiff must catch the offset: {hits}/{total}");
+        assert!(
+            hits * 2 > total,
+            "gdiff must catch the offset: {hits}/{total}"
+        );
     }
 
     #[test]

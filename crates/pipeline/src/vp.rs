@@ -41,7 +41,10 @@ impl VpToken {
     pub fn confident_prediction(&self) -> Option<u64> {
         match self {
             VpToken::None => None,
-            VpToken::Plain { predicted, confident } => predicted.filter(|_| *confident),
+            VpToken::Plain {
+                predicted,
+                confident,
+            } => predicted.filter(|_| *confident),
             VpToken::Sgvq(t) => t.prediction.filter(|g| g.confident).map(|g| g.value),
             VpToken::Hgvq(t) => t.prediction.filter(|g| g.confident).map(|g| g.value),
         }
@@ -67,6 +70,18 @@ pub trait VpEngine: std::fmt::Debug {
 
     /// Report name for experiment output.
     fn name(&self) -> &'static str;
+
+    /// The learned global-stride distance for `pc`, when this engine is a
+    /// gDiff variant whose table has locked onto one.
+    ///
+    /// Tracing metadata only: the simulator queries it after a prediction
+    /// (and only while tracing is enabled) to stamp `gvq-hit` events with
+    /// the queue distance the match came from. Engines without a global
+    /// value queue keep the default `None`.
+    fn learned_distance(&self, pc: u64) -> Option<u64> {
+        let _ = pc;
+        None
+    }
 }
 
 /// The no-value-prediction baseline.
@@ -136,8 +151,14 @@ impl<P: ValuePredictor + std::fmt::Debug> VpEngine for LocalEngine<P> {
     fn dispatch(&mut self, inst: &DynInst) -> VpToken {
         let pc = inst.pc;
         match self.gated.predict(pc) {
-            Some(g) => VpToken::Plain { predicted: Some(g.value), confident: g.confident },
-            None => VpToken::Plain { predicted: None, confident: false },
+            Some(g) => VpToken::Plain {
+                predicted: Some(g.value),
+                confident: g.confident,
+            },
+            None => VpToken::Plain {
+                predicted: None,
+                confident: false,
+            },
         }
     }
 
@@ -166,7 +187,9 @@ impl SgvqEngine {
 
     /// Custom geometry.
     pub fn new(table: Capacity, order: usize) -> Self {
-        SgvqEngine { inner: SgvqPredictor::new(table, order, table) }
+        SgvqEngine {
+            inner: SgvqPredictor::new(table, order, table),
+        }
     }
 }
 
@@ -183,6 +206,14 @@ impl VpEngine for SgvqEngine {
 
     fn name(&self) -> &'static str {
         "gdiff-sgvq"
+    }
+
+    fn learned_distance(&self, pc: u64) -> Option<u64> {
+        self.inner
+            .core()
+            .entry(pc)
+            .and_then(|e| e.distance())
+            .map(|d| d as u64)
     }
 }
 
@@ -208,7 +239,9 @@ impl HgvqEngine<StridePredictor> {
 
     /// Custom geometry.
     pub fn new(table: Capacity, order: usize) -> Self {
-        HgvqEngine { inner: HgvqPredictor::with_stride_filler(table, order, table) }
+        HgvqEngine {
+            inner: HgvqPredictor::with_stride_filler(table, order, table),
+        }
     }
 }
 
@@ -234,6 +267,14 @@ impl<F: ValuePredictor + std::fmt::Debug> VpEngine for HgvqEngine<F> {
     fn name(&self) -> &'static str {
         "gdiff-hgvq"
     }
+
+    fn learned_distance(&self, pc: u64) -> Option<u64> {
+        self.inner
+            .core()
+            .entry(pc)
+            .and_then(|e| e.distance())
+            .map(|d| d as u64)
+    }
 }
 
 /// Perfect value prediction: always confident, always right — the limit
@@ -244,7 +285,10 @@ pub struct OracleEngine;
 
 impl VpEngine for OracleEngine {
     fn dispatch(&mut self, inst: &DynInst) -> VpToken {
-        VpToken::Plain { predicted: Some(inst.value), confident: true }
+        VpToken::Plain {
+            predicted: Some(inst.value),
+            confident: true,
+        }
     }
 
     fn writeback(&mut self, _pc: u64, _token: &VpToken, _actual: u64) {}
@@ -321,10 +365,45 @@ mod tests {
     }
 
     #[test]
+    fn learned_distance_surfaces_after_training() {
+        let mut e = HgvqEngine::paper_default();
+        assert_eq!(
+            e.learned_distance(0xb0),
+            None,
+            "untrained entry has no distance"
+        );
+        for i in 0..40u64 {
+            let ta = e.dispatch(&at(0xa0));
+            let tb = e.dispatch(&at(0xb0));
+            e.writeback(0xa0, &ta, i);
+            e.writeback(0xb0, &tb, i + 2);
+        }
+        // 0xb0 always sees 0xa0's value two back in the global stream, so a
+        // distance must have been learned; engines without a queue never
+        // report one.
+        assert!(e.learned_distance(0xb0).is_some());
+        assert_eq!(NoVp.learned_distance(0xb0), None);
+    }
+
+    #[test]
     fn record_token_counts_confidence_correctly() {
         let mut s = PredictorStats::new();
-        record_token(&mut s, &VpToken::Plain { predicted: Some(5), confident: true }, 5);
-        record_token(&mut s, &VpToken::Plain { predicted: Some(5), confident: false }, 6);
+        record_token(
+            &mut s,
+            &VpToken::Plain {
+                predicted: Some(5),
+                confident: true,
+            },
+            5,
+        );
+        record_token(
+            &mut s,
+            &VpToken::Plain {
+                predicted: Some(5),
+                confident: false,
+            },
+            6,
+        );
         record_token(&mut s, &VpToken::None, 9);
         assert_eq!(s.total(), 3);
         assert_eq!(s.confident(), 1);

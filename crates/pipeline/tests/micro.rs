@@ -13,15 +13,21 @@ fn run_trace(trace: Vec<DynInst>, engine: Box<dyn VpEngine>) -> pipeline::SimSta
 
 /// `n` copies of `block`, PCs preserved (a loop without the branch).
 fn repeat(block: &[DynInst], n: usize) -> Vec<DynInst> {
-    block.iter().cycle().take(block.len() * n).copied().collect()
+    block
+        .iter()
+        .cycle()
+        .take(block.len() * n)
+        .copied()
+        .collect()
 }
 
 #[test]
 fn independent_alus_sustain_full_width() {
     // Four independent single-cycle ops per "iteration": IPC must approach
     // the machine width.
-    let block: Vec<DynInst> =
-        (0..4).map(|i| DynInst::alu(0x400 + i * 4, i as u8, [None, None], i)).collect();
+    let block: Vec<DynInst> = (0..4)
+        .map(|i| DynInst::alu(0x400 + i * 4, i as u8, [None, None], i))
+        .collect();
     let stats = run_trace(repeat(&block, 2000), Box::new(NoVp));
     assert!(stats.ipc() > 3.5, "ipc {}", stats.ipc());
 }
@@ -58,7 +64,9 @@ fn wrong_predictions_cause_reissue_but_not_corruption() {
     let mut trace = Vec::new();
     let mut v = 1u64;
     for _ in 0..3000 {
-        v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        v = v
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         trace.push(DynInst::alu(0x400, 1, [Some(1), None], v));
         trace.push(DynInst::alu(0x404, 2, [Some(1), None], v ^ 0xff));
     }
@@ -82,7 +90,11 @@ fn load_misses_throttle_a_pointer_chase() {
     let stats = run_trace(trace, Box::new(NoVp));
     // Each load costs ~1 (agen) + 2 (hit path) + 14 (miss) serialized.
     assert!(stats.ipc() < 0.1, "ipc {}", stats.ipc());
-    assert!(stats.dcache_miss_rate > 0.9, "miss rate {}", stats.dcache_miss_rate);
+    assert!(
+        stats.dcache_miss_rate > 0.9,
+        "miss rate {}",
+        stats.dcache_miss_rate
+    );
 }
 
 #[test]
@@ -108,8 +120,9 @@ fn predicting_a_chase_overlaps_the_misses() {
 fn mispredicted_branches_cost_fetch_stalls() {
     // Alternating-direction branch with a short history predictor warmed:
     // gshare learns alternation, so compare against a *random* branch.
-    let easy: Vec<DynInst> =
-        (0..4000).map(|_| DynInst::branch(0x400, 1, true, 0x500)).collect();
+    let easy: Vec<DynInst> = (0..4000)
+        .map(|_| DynInst::branch(0x400, 1, true, 0x500))
+        .collect();
     let mut v = 1u64;
     let hard: Vec<DynInst> = (0..4000)
         .map(|_| {
@@ -136,17 +149,44 @@ fn prefetching_hides_miss_latency_on_a_strided_stream() {
     let mut trace = Vec::new();
     for i in 0..4000u64 {
         // Independent loads (address from a ready register).
-        trace.push(DynInst::load(0x400, (i % 8) as u8, 30, 0x1000_0000 + i * 4096, i));
-        trace.push(DynInst::alu(0x404, 9, [Some((i % 8) as u8), None], i.wrapping_mul(3)));
+        trace.push(DynInst::load(
+            0x400,
+            (i % 8) as u8,
+            30,
+            0x1000_0000 + i * 4096,
+            i,
+        ));
+        trace.push(DynInst::alu(
+            0x404,
+            9,
+            [Some((i % 8) as u8), None],
+            i.wrapping_mul(3),
+        ));
     }
-    let base = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp))
-        .run(trace.iter().copied(), 0, u64::MAX);
+    let base = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp)).run(
+        trace.iter().copied(),
+        0,
+        u64::MAX,
+    );
     let pf = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp))
         .with_prefetcher(Box::new(StridePrefetcher::new()))
         .run(trace.iter().copied(), 0, u64::MAX);
-    assert!(pf.prefetches_issued > 1000, "issued {}", pf.prefetches_issued);
-    assert!(pf.prefetches_useful > 500, "useful {}", pf.prefetches_useful);
-    assert!(pf.cycles < base.cycles, "prefetch must help: {} vs {}", pf.cycles, base.cycles);
+    assert!(
+        pf.prefetches_issued > 1000,
+        "issued {}",
+        pf.prefetches_issued
+    );
+    assert!(
+        pf.prefetches_useful > 500,
+        "useful {}",
+        pf.prefetches_useful
+    );
+    assert!(
+        pf.cycles < base.cycles,
+        "prefetch must help: {} vs {}",
+        pf.cycles,
+        base.cycles
+    );
 }
 
 #[test]
@@ -161,12 +201,25 @@ fn hgvq_engine_covers_a_global_pair_in_pipeline() {
         trace.push(DynInst::alu(0x404, 2, [Some(1), None], i * 8 + 8)); // b = a + 8
         trace.push(DynInst::alu(0x408, 3, [Some(2), None], i * 8 + 9)); // consumer of b
         for j in 0..77u64 {
-            trace.push(DynInst::alu(0x500 + j * 4, (4 + j % 8) as u8, [None, None], 7 + j));
+            trace.push(DynInst::alu(
+                0x500 + j * 4,
+                (4 + j % 8) as u8,
+                [None, None],
+                7 + j,
+            ));
         }
     }
     let stats = run_trace(trace, Box::new(HgvqEngine::paper_default()));
-    assert!(stats.vp.coverage() > 0.5, "coverage {}", stats.vp.coverage());
-    assert!(stats.vp.gated_accuracy() > 0.9, "accuracy {}", stats.vp.gated_accuracy());
+    assert!(
+        stats.vp.coverage() > 0.5,
+        "coverage {}",
+        stats.vp.coverage()
+    );
+    assert!(
+        stats.vp.gated_accuracy() > 0.9,
+        "accuracy {}",
+        stats.vp.gated_accuracy()
+    );
 }
 
 #[test]

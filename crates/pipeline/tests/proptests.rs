@@ -7,8 +7,16 @@ use workloads::DynInst;
 
 /// Strategy: a random but well-formed instruction.
 fn arb_inst() -> impl Strategy<Value = DynInst> {
-    (0u64..256, 0u8..7, 0u8..64, 0u8..64, any::<u64>(), 0u64..0x10_0000, any::<bool>()).prop_map(
-        |(pc_idx, kind, r1, r2, value, mem, taken)| {
+    (
+        0u64..256,
+        0u8..7,
+        0u8..64,
+        0u8..64,
+        any::<u64>(),
+        0u64..0x10_0000,
+        any::<bool>(),
+    )
+        .prop_map(|(pc_idx, kind, r1, r2, value, mem, taken)| {
             let pc = 0x40_0000 + pc_idx * 4;
             match kind {
                 0 | 1 => DynInst::alu(pc, r1, [Some(r2), None], value),
@@ -18,8 +26,7 @@ fn arb_inst() -> impl Strategy<Value = DynInst> {
                 5 => DynInst::branch(pc, r1, taken, 0x40_0000 + (mem % 256) * 4),
                 _ => DynInst::jump(pc, 0x40_0000 + (mem % 256) * 4),
             }
-        },
-    )
+        })
 }
 
 fn engines() -> Vec<Box<dyn VpEngine>> {

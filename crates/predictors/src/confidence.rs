@@ -26,7 +26,12 @@ pub struct ConfidenceConfig {
 
 impl Default for ConfidenceConfig {
     fn default() -> Self {
-        ConfidenceConfig { max: 7, on_correct: 2, on_incorrect: 1, threshold: 4 }
+        ConfidenceConfig {
+            max: 7,
+            on_correct: 2,
+            on_incorrect: 1,
+            threshold: 4,
+        }
     }
 }
 
@@ -54,7 +59,10 @@ pub struct ConfidenceTable {
 impl ConfidenceTable {
     /// Creates a confidence table with the given capacity and parameters.
     pub fn new(capacity: Capacity, config: ConfidenceConfig) -> Self {
-        ConfidenceTable { table: PcTable::new(capacity), config }
+        ConfidenceTable {
+            table: PcTable::new(capacity),
+            config,
+        }
     }
 
     /// Creates a table with the paper's default 3-bit scheme.
@@ -76,7 +84,9 @@ impl ConfidenceTable {
     pub fn train(&mut self, pc: u64, correct: bool) {
         let c = self.table.entry_shared(pc);
         if correct {
-            *c = c.saturating_add(self.config.on_correct).min(self.config.max);
+            *c = c
+                .saturating_add(self.config.on_correct)
+                .min(self.config.max);
         } else {
             *c = c.saturating_sub(self.config.on_incorrect);
         }
@@ -132,7 +142,10 @@ pub struct GatedPredictor<P> {
 impl<P: ValuePredictor> GatedPredictor<P> {
     /// Wraps `inner`, giving the confidence table its own capacity policy.
     pub fn new(inner: P, capacity: Capacity, config: ConfidenceConfig) -> Self {
-        GatedPredictor { inner, confidence: ConfidenceTable::new(capacity, config) }
+        GatedPredictor {
+            inner,
+            confidence: ConfidenceTable::new(capacity, config),
+        }
     }
 
     /// Wraps `inner` with the paper's default 3-bit confidence scheme.
@@ -234,13 +247,20 @@ mod tests {
             if let Some(g) = p.predict(0x20) {
                 if g.confident {
                     confident_seen = true;
-                    assert_eq!(g.value, i * 4, "confident prediction must be the stride value");
+                    assert_eq!(
+                        g.value,
+                        i * 4,
+                        "confident prediction must be the stride value"
+                    );
                 }
             }
             let predicted = p.predict(0x20).map(|g| g.value);
             p.resolve(0x20, predicted, i * 4);
         }
-        assert!(confident_seen, "a steady stride must eventually be confident");
+        assert!(
+            confident_seen,
+            "a steady stride must eventually be confident"
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl FcmPredictor {
     /// Panics if `order` is zero or `l2_bits` is not in `1..=32`.
     pub fn new(l1_capacity: Capacity, order: usize, l2_bits: u32) -> Self {
         assert!(order > 0, "context order must be nonzero");
-        assert!((1..=32).contains(&l2_bits), "level-2 bits must be in 1..=32");
+        assert!(
+            (1..=32).contains(&l2_bits),
+            "level-2 bits must be in 1..=32"
+        );
         FcmPredictor {
             l1: PcTable::new(l1_capacity),
             l2: vec![None; 1usize << l2_bits],

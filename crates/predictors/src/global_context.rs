@@ -140,7 +140,10 @@ mod tests {
             gd.update(0xb0, hard.wrapping_add(4));
         }
         assert_eq!(ctx_ok, 0, "global contexts never repeat");
-        assert!(gd_ok as f64 > 0.95 * total as f64, "gdiff catches the stride: {gd_ok}/{total}");
+        assert!(
+            gd_ok as f64 > 0.95 * total as f64,
+            "gdiff catches the stride: {gd_ok}/{total}"
+        );
     }
 
     #[test]

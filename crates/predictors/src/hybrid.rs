@@ -50,7 +50,11 @@ impl<A: ValuePredictor, B: ValuePredictor> HybridPredictor<A, B> {
         let mut selector = PcTable::new(selector_capacity);
         // Bias: start neutral-towards-first.
         let _ = &mut selector;
-        HybridPredictor { first, second, selector }
+        HybridPredictor {
+            first,
+            second,
+            selector,
+        }
     }
 
     /// Which component the selector currently favours for `pc`.

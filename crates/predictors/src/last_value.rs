@@ -23,7 +23,9 @@ pub struct LastValuePredictor {
 impl LastValuePredictor {
     /// Creates a last-value predictor with the given table capacity.
     pub fn new(capacity: Capacity) -> Self {
-        LastValuePredictor { table: PcTable::new(capacity) }
+        LastValuePredictor {
+            table: PcTable::new(capacity),
+        }
     }
 
     /// The underlying table, for aliasing statistics.
@@ -87,7 +89,10 @@ impl LastNValuePredictor {
     /// Panics if `n` is zero.
     pub fn new(capacity: Capacity, n: usize) -> Self {
         assert!(n > 0, "history depth must be nonzero");
-        LastNValuePredictor { table: PcTable::new(capacity), n }
+        LastNValuePredictor {
+            table: PcTable::new(capacity),
+            n,
+        }
     }
 
     /// The configured history depth.

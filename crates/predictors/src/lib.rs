@@ -134,8 +134,7 @@ mod tests {
 
     #[test]
     fn boxed_predictor_delegates() {
-        let mut p: Box<dyn ValuePredictor> =
-            Box::new(LastValuePredictor::new(Capacity::Unbounded));
+        let mut p: Box<dyn ValuePredictor> = Box::new(LastValuePredictor::new(Capacity::Unbounded));
         assert_eq!(p.predict(4), None);
         p.update(4, 7);
         assert_eq!(p.predict(4), Some(7));

@@ -15,12 +15,18 @@ pub struct MarkovConfig {
 impl MarkovConfig {
     /// The paper's §6 configuration: 4-way, 256K entries.
     pub fn paper_256k() -> Self {
-        MarkovConfig { entries: 256 * 1024, ways: 4 }
+        MarkovConfig {
+            entries: 256 * 1024,
+            ways: 4,
+        }
     }
 
     /// The paper's enlarged configuration: 4-way, 2M entries.
     pub fn paper_2m() -> Self {
-        MarkovConfig { entries: 2 * 1024 * 1024, ways: 4 }
+        MarkovConfig {
+            entries: 2 * 1024 * 1024,
+            ways: 4,
+        }
     }
 }
 
@@ -75,9 +81,15 @@ impl MarkovPredictor {
     /// Panics if `entries` is not a multiple of `ways`, or the resulting
     /// set count is not a nonzero power of two.
     pub fn new(config: MarkovConfig) -> Self {
-        assert!(config.ways > 0 && config.entries.is_multiple_of(config.ways), "entries must be a multiple of ways");
+        assert!(
+            config.ways > 0 && config.entries.is_multiple_of(config.ways),
+            "entries must be a multiple of ways"
+        );
         let num_sets = config.entries / config.ways;
-        assert!(num_sets > 0 && num_sets.is_power_of_two(), "set count must be a nonzero power of two");
+        assert!(
+            num_sets > 0 && num_sets.is_power_of_two(),
+            "set count must be a nonzero power of two"
+        );
         MarkovPredictor {
             last_addr: PcTable::new(Capacity::Unbounded),
             sets: vec![Vec::new(); num_sets],
@@ -110,13 +122,18 @@ impl MarkovPredictor {
             return;
         }
         if set.len() < ways {
-            set.push(Way { tag: addr, next, lru: clock });
+            set.push(Way {
+                tag: addr,
+                next,
+                lru: clock,
+            });
         } else {
-            let victim = set
-                .iter_mut()
-                .min_by_key(|w| w.lru)
-                .expect("nonempty set");
-            *victim = Way { tag: addr, next, lru: clock };
+            let victim = set.iter_mut().min_by_key(|w| w.lru).expect("nonempty set");
+            *victim = Way {
+                tag: addr,
+                next,
+                lru: clock,
+            };
         }
     }
 }
@@ -147,7 +164,10 @@ mod tests {
 
     #[test]
     fn cold_predicts_nothing() {
-        let mut p = MarkovPredictor::new(MarkovConfig { entries: 64, ways: 4 });
+        let mut p = MarkovPredictor::new(MarkovConfig {
+            entries: 64,
+            ways: 4,
+        });
         assert_eq!(p.predict(0), None);
         p.update(0, 0x10);
         assert_eq!(p.predict(0), None, "transition not yet seen");
@@ -155,7 +175,10 @@ mod tests {
 
     #[test]
     fn learns_pointer_chase_cycle() {
-        let mut p = MarkovPredictor::new(MarkovConfig { entries: 64, ways: 4 });
+        let mut p = MarkovPredictor::new(MarkovConfig {
+            entries: 64,
+            ways: 4,
+        });
         let chain = [0x100u64, 0x240, 0x810, 0x100];
         for &a in &chain {
             p.update(0, a);
@@ -170,7 +193,10 @@ mod tests {
     fn capacity_pressure_evicts_lru() {
         // 1 set x 2 ways: the third distinct source address evicts the
         // least recently used transition.
-        let mut p = MarkovPredictor::new(MarkovConfig { entries: 2, ways: 2 });
+        let mut p = MarkovPredictor::new(MarkovConfig {
+            entries: 2,
+            ways: 2,
+        });
         p.update(0, 1); // no transition yet
         p.update(0, 2); // 1 -> 2
         p.update(0, 3); // 2 -> 3
@@ -182,7 +208,10 @@ mod tests {
 
     #[test]
     fn per_pc_streams_are_separate() {
-        let mut p = MarkovPredictor::new(MarkovConfig { entries: 1024, ways: 4 });
+        let mut p = MarkovPredictor::new(MarkovConfig {
+            entries: 1024,
+            ways: 4,
+        });
         // Two loads with different chains; transitions share the table but
         // each PC follows its own last address.
         for _ in 0..2 {
@@ -199,7 +228,10 @@ mod tests {
 
     #[test]
     fn updating_existing_transition_refreshes_it() {
-        let mut p = MarkovPredictor::new(MarkovConfig { entries: 2, ways: 2 });
+        let mut p = MarkovPredictor::new(MarkovConfig {
+            entries: 2,
+            ways: 2,
+        });
         p.update(0, 1);
         p.update(0, 2); // 1 -> 2
         p.update(0, 1);
@@ -210,6 +242,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple of ways")]
     fn bad_geometry_rejected() {
-        let _ = MarkovPredictor::new(MarkovConfig { entries: 10, ways: 4 });
+        let _ = MarkovPredictor::new(MarkovConfig {
+            entries: 10,
+            ways: 4,
+        });
     }
 }

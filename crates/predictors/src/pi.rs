@@ -45,7 +45,10 @@ pub struct PiPredictor {
 impl PiPredictor {
     /// Creates a PI predictor with the given table capacity.
     pub fn new(capacity: Capacity) -> Self {
-        PiPredictor { table: PcTable::new(capacity), global_last: None }
+        PiPredictor {
+            table: PcTable::new(capacity),
+            global_last: None,
+        }
     }
 
     /// The most recent value in the global stream, if any.

@@ -119,6 +119,36 @@ impl PredictorStats {
     pub fn coverage(&self) -> f64 {
         ratio(self.confident, self.total)
     }
+
+    /// All counters and derived rates as a JSON object, for the harness's
+    /// machine-readable run reports.
+    pub fn to_json(&self) -> obs::JsonValue {
+        obs::JsonValue::object()
+            .with("total", self.total)
+            .with("predicted", self.predicted)
+            .with("correct", self.correct)
+            .with("confident", self.confident)
+            .with("confident_correct", self.confident_correct)
+            .with("accuracy", self.accuracy())
+            .with("gated_accuracy", self.gated_accuracy())
+            .with("coverage", self.coverage())
+    }
+
+    /// Publishes the counters into a metrics [`Registry`](obs::Registry)
+    /// under `prefix` (e.g. `vp.total`, `vp.confident_correct`).
+    pub fn publish(&self, registry: &mut obs::Registry, prefix: &str) {
+        for (name, value) in [
+            ("total", self.total),
+            ("predicted", self.predicted),
+            ("correct", self.correct),
+            ("confident", self.confident),
+            ("confident_correct", self.confident_correct),
+        ] {
+            let id = registry.counter(&format!("{prefix}.{name}"));
+            registry.reset_counter(id);
+            registry.add(id, value);
+        }
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -190,5 +220,32 @@ mod tests {
     fn display_is_nonempty() {
         let s = PredictorStats::new();
         assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn json_export_carries_counters_and_rates() {
+        let mut s = PredictorStats::new();
+        s.record(Some(1), true, 1);
+        s.record(None, false, 2);
+        let j = s.to_json();
+        assert_eq!(j.path("total").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(j.path("coverage").and_then(|v| v.as_f64()), Some(0.5));
+        // And the export survives a parse round trip.
+        let parsed = obs::JsonValue::parse(&j.to_json()).unwrap();
+        assert_eq!(
+            parsed.path("gated_accuracy").and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn publish_overwrites_rather_than_accumulates() {
+        let mut s = PredictorStats::new();
+        s.record(Some(1), true, 1);
+        let mut reg = obs::Registry::new();
+        s.publish(&mut reg, "vp");
+        s.publish(&mut reg, "vp");
+        assert_eq!(reg.counter_by_name("vp.total"), Some(1));
+        assert_eq!(reg.counter_by_name("vp.confident_correct"), Some(1));
     }
 }

@@ -42,7 +42,9 @@ pub struct StridePredictor {
 impl StridePredictor {
     /// Creates a stride predictor with the given table capacity.
     pub fn new(capacity: Capacity) -> Self {
-        StridePredictor { table: PcTable::new(capacity) }
+        StridePredictor {
+            table: PcTable::new(capacity),
+        }
     }
 
     /// Conflict (aliasing) rate of the underlying table.
@@ -158,6 +160,9 @@ mod tests {
         let seq: Vec<u64> = (0..500).map(|_| rng.gen()).collect();
         let mut p = StridePredictor::new(Capacity::Unbounded);
         let correct = run(&mut p, 0, &seq);
-        assert!(correct < 5, "random 64-bit values must be unpredictable, got {correct}");
+        assert!(
+            correct < 5,
+            "random 64-bit values must be unpredictable, got {correct}"
+        );
     }
 }

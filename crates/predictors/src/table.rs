@@ -87,13 +87,20 @@ impl<E: Default> PcTable<E> {
         let storage = match capacity {
             Capacity::Unbounded => Storage::Unbounded(HashMap::new()),
             Capacity::Entries(n) => {
-                assert!(n > 0 && n.is_power_of_two(), "table entries must be a nonzero power of two");
+                assert!(
+                    n > 0 && n.is_power_of_two(),
+                    "table entries must be a nonzero power of two"
+                );
                 let mut v = Vec::new();
                 v.resize_with(n, || None);
                 Storage::Direct(v)
             }
         };
-        PcTable { storage, accesses: 0, conflicts: 0 }
+        PcTable {
+            storage,
+            accesses: 0,
+            conflicts: 0,
+        }
     }
 
     /// Returns the entry for `pc`, creating a default entry on first touch.
@@ -134,7 +141,10 @@ impl<E: Default> PcTable<E> {
                         }
                     }
                     None => {
-                        *slot = Some(Slot { owner: pc, data: E::default() });
+                        *slot = Some(Slot {
+                            owner: pc,
+                            data: E::default(),
+                        });
                     }
                 }
                 &mut slot.as_mut().expect("slot populated above").data

@@ -1,8 +1,8 @@
 //! Property-based tests for the predictor substrate.
 
 use predictors::{
-    Capacity, ConfidenceConfig, ConfidenceTable, DfcmPredictor, LastValuePredictor,
-    MarkovConfig, MarkovPredictor, PcTable, StridePredictor, ValuePredictor,
+    Capacity, ConfidenceConfig, ConfidenceTable, DfcmPredictor, LastValuePredictor, MarkovConfig,
+    MarkovPredictor, PcTable, StridePredictor, ValuePredictor,
 };
 use proptest::prelude::*;
 

@@ -66,12 +66,24 @@ pub struct DynInst {
 impl DynInst {
     /// An ALU operation producing `value` into `dst`.
     pub fn alu(pc: u64, dst: u8, srcs: [Option<u8>; 2], value: u64) -> Self {
-        DynInst { pc, op: OpClass::IntAlu, dst: Some(dst), srcs, value, mem_addr: None, taken: false, target: 0 }
+        DynInst {
+            pc,
+            op: OpClass::IntAlu,
+            dst: Some(dst),
+            srcs,
+            value,
+            mem_addr: None,
+            taken: false,
+            target: 0,
+        }
     }
 
     /// A multiply producing `value` into `dst`.
     pub fn mul(pc: u64, dst: u8, srcs: [Option<u8>; 2], value: u64) -> Self {
-        DynInst { op: OpClass::IntMul, ..Self::alu(pc, dst, srcs, value) }
+        DynInst {
+            op: OpClass::IntMul,
+            ..Self::alu(pc, dst, srcs, value)
+        }
     }
 
     /// A load from `addr` (base register `base`) producing `value`.
@@ -158,7 +170,12 @@ impl fmt::Display for DynInst {
             write!(f, " @{a:#x}")?;
         }
         if self.is_control() {
-            write!(f, " {} -> {:#x}", if self.taken { "T" } else { "N" }, self.target)?;
+            write!(
+                f,
+                " {} -> {:#x}",
+                if self.taken { "T" } else { "N" },
+                self.target
+            )?;
         }
         Ok(())
     }

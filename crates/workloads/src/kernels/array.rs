@@ -96,7 +96,16 @@ impl ArrayWalkKernel {
                 Some(p)
             }
         };
-        ArrayWalkKernel { slot, len, elem_size, data, perm, burst, pad: 0, idx: 0 }
+        ArrayWalkKernel {
+            slot,
+            len,
+            elem_size,
+            data,
+            perm,
+            burst,
+            pad: 0,
+            idx: 0,
+        }
     }
 
     /// Adds `pad` dependent ALU operations per iteration (a serial address
@@ -150,7 +159,12 @@ impl Kernel for ArrayWalkKernel {
                 } else {
                     addr.wrapping_add(24 * (j + 2))
                 };
-                out.push(DynInst::alu(s.pc(4 + j), r_t, [Some(r_t), Some(r_i)], value));
+                out.push(DynInst::alu(
+                    s.pc(4 + j),
+                    r_t,
+                    [Some(r_t), Some(r_i)],
+                    value,
+                ));
             }
             // loop branch: taken within the burst.
             out.push(DynInst::branch(s.pc(3), r_i, it + 1 != self.burst, s.pc(0)));
@@ -175,7 +189,10 @@ mod tests {
             KernelSlot::for_site(0),
             4096,
             8,
-            ArrayData::Affine { base: 100, delta: 16 },
+            ArrayData::Affine {
+                base: 100,
+                delta: 16,
+            },
         );
         let trace = run_kernel(&mut k, 500);
         let mut st = StridePredictor::new(Capacity::Unbounded);
@@ -197,7 +214,10 @@ mod tests {
         let s_acc = score(&loads, &mut st);
         let f_acc = score(&loads, &mut fcm);
         assert!(s_acc < 0.2, "stride fails on hashed contents: {s_acc}");
-        assert!(f_acc > 0.8, "context predictor learns the repeating sweep: {f_acc}");
+        assert!(
+            f_acc > 0.8,
+            "context predictor learns the repeating sweep: {f_acc}"
+        );
     }
 
     #[test]
@@ -206,30 +226,62 @@ mod tests {
         let trace = run_kernel(&mut k, 8);
         let addrs: Vec<u64> = trace.iter().filter_map(|i| i.mem_addr).collect();
         let base = KernelSlot::for_site(0).mem_base;
-        assert_eq!(addrs, vec![base, base + 8, base + 16, base + 24, base, base + 8, base + 16, base + 24]);
+        assert_eq!(
+            addrs,
+            vec![
+                base,
+                base + 8,
+                base + 16,
+                base + 24,
+                base,
+                base + 8,
+                base + 16,
+                base + 24
+            ]
+        );
     }
 
     #[test]
     fn burst_branch_exits_at_burst_end() {
         let mut k = ArrayWalkKernel::with_burst(
-            KernelSlot::for_site(0), 64, 8, ArrayData::Hashed, Indexing::Sweep, 4,
+            KernelSlot::for_site(0),
+            64,
+            8,
+            ArrayData::Hashed,
+            Indexing::Sweep,
+            4,
         );
         let trace = run_kernel(&mut k, 2);
-        let outcomes: Vec<bool> = trace.iter().filter(|i| i.is_control()).map(|i| i.taken).collect();
-        assert_eq!(outcomes, vec![true, true, true, false, true, true, true, false]);
+        let outcomes: Vec<bool> = trace
+            .iter()
+            .filter(|i| i.is_control())
+            .map(|i| i.taken)
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, true, true, true, false]
+        );
     }
 
     #[test]
     fn scattered_addresses_defeat_stride_but_repeat_per_lap() {
         use predictors::{MarkovConfig, MarkovPredictor, ValuePredictor};
         let mut k = ArrayWalkKernel::with_burst(
-            KernelSlot::for_site(0), 64, 8, ArrayData::Hashed, Indexing::Scattered, 8,
+            KernelSlot::for_site(0),
+            64,
+            8,
+            ArrayData::Hashed,
+            Indexing::Scattered,
+            8,
         );
         let trace = run_kernel(&mut k, 200);
         let s = KernelSlot::for_site(0);
         // Score address predictability of the load (pc 1).
         let mut st = StridePredictor::new(Capacity::Unbounded);
-        let mut mk = MarkovPredictor::new(MarkovConfig { entries: 4096, ways: 4 });
+        let mut mk = MarkovPredictor::new(MarkovConfig {
+            entries: 4096,
+            ways: 4,
+        });
         let (mut st_ok, mut mk_ok, mut total) = (0u64, 0u64, 0u64);
         for i in trace.iter().filter(|i| i.pc == s.pc(1)) {
             let a = i.mem_addr.unwrap();
@@ -241,7 +293,13 @@ mod tests {
                 mk_ok += 1;
             }
         }
-        assert!((st_ok as f64) < 0.2 * total as f64, "stride fails: {st_ok}/{total}");
-        assert!((mk_ok as f64) > 0.8 * total as f64, "markov learns the lap: {mk_ok}/{total}");
+        assert!(
+            (st_ok as f64) < 0.2 * total as f64,
+            "stride fails: {st_ok}/{total}"
+        );
+        assert!(
+            (mk_ok as f64) > 0.8 * total as f64,
+            "markov learns the lap: {mk_ok}/{total}"
+        );
     }
 }

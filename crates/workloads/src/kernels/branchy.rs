@@ -29,7 +29,11 @@ impl BranchyKernel {
     /// Panics if `taken_prob` is not in `0.0..=1.0`.
     pub fn new(slot: KernelSlot, taken_prob: f64) -> Self {
         assert!((0.0..=1.0).contains(&taken_prob), "probability");
-        BranchyKernel { slot, taken_prob, counter: 0 }
+        BranchyKernel {
+            slot,
+            taken_prob,
+            counter: 0,
+        }
     }
 }
 
@@ -39,11 +43,21 @@ impl Kernel for BranchyKernel {
         self.counter += 1;
         let taken = rng.gen_bool(self.taken_prob);
         // the comparison operand (a value-producing ALU op)
-        out.push(DynInst::alu(s.pc(0), s.reg(0), [Some(s.reg(0)), None], self.counter));
+        out.push(DynInst::alu(
+            s.pc(0),
+            s.reg(0),
+            [Some(s.reg(0)), None],
+            self.counter,
+        ));
         out.push(DynInst::branch(s.pc(1), s.reg(0), taken, s.pc(4)));
         // fall-through work on the not-taken path
         if !taken {
-            out.push(DynInst::alu(s.pc(2), s.reg(1), [Some(s.reg(0)), None], self.counter * 2));
+            out.push(DynInst::alu(
+                s.pc(2),
+                s.reg(1),
+                [Some(s.reg(0)), None],
+                self.counter * 2,
+            ));
             out.push(DynInst::jump(s.pc(3), s.pc(4)));
         }
     }

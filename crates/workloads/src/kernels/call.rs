@@ -52,7 +52,14 @@ impl CallKernel {
     /// Panics if `body_len > 16`.
     pub fn new(slot: KernelSlot, body_len: usize, locally_hard: bool) -> Self {
         assert!(body_len <= 16, "body too long");
-        CallKernel { slot, body_len, s0: [0xbeef, 0xf00d], locally_hard, depth: 6, dir: 1 }
+        CallKernel {
+            slot,
+            body_len,
+            s0: [0xbeef, 0xf00d],
+            locally_hard,
+            depth: 6,
+            dir: 1,
+        }
     }
 
     /// PC of the `s0` restore load (useful for per-instruction analyses).
@@ -67,19 +74,33 @@ impl Kernel for CallKernel {
         self.depth = {
             // sticky random walk: call depth trends in one direction for a
             // while (phasic call behaviour), reversing rarely
-            let d = self.depth as i64 + if rng.gen_bool(0.85) { self.dir } else { self.dir = -self.dir; self.dir };
+            let d = self.depth as i64
+                + if rng.gen_bool(0.85) {
+                    self.dir
+                } else {
+                    self.dir = -self.dir;
+                    self.dir
+                };
             d.clamp(0, 12) as u64
         };
         let sp = s.mem_base + 0xF000 + self.depth * 64;
         let (r_s0, r_ra, r_sp, r_t) = (s.reg(0), s.reg(1), s.reg(6), s.reg(2));
         let site = (rng.gen::<u8>() & 1) as usize;
-        self.s0[site] =
-            if self.locally_hard { mix64(self.s0[site] ^ rng.gen::<u64>()) } else { self.s0[site] + 1 };
+        self.s0[site] = if self.locally_hard {
+            mix64(self.s0[site] ^ rng.gen::<u64>())
+        } else {
+            self.s0[site] + 1
+        };
         let s0 = self.s0[site];
         let ra = s.pc(site as u64);
 
         // def: the caller's live value (one of two call sites).
-        out.push(DynInst::alu(s.pc(site as u64), r_s0, [Some(r_s0), None], s0));
+        out.push(DynInst::alu(
+            s.pc(site as u64),
+            r_s0,
+            [Some(r_s0), None],
+            s0,
+        ));
         let mut pc = 2u64;
         out.push(DynInst::jump(s.pc(pc), s.pc(4))); // call
         pc += 1;
@@ -126,8 +147,11 @@ mod tests {
             .filter(|i| i.pc <= s.pc(1) && i.produces_value())
             .map(|i| i.value)
             .collect();
-        let restores: Vec<u64> =
-            trace.iter().filter(|i| i.pc == restore_pc).map(|i| i.value).collect();
+        let restores: Vec<u64> = trace
+            .iter()
+            .filter(|i| i.pc == restore_pc)
+            .map(|i| i.value)
+            .collect();
         assert_eq!(defs, restores);
     }
 
@@ -136,10 +160,16 @@ mod tests {
         let mut k = CallKernel::new(KernelSlot::for_site(0), 4, true);
         let restore_pc = k.restore_pc();
         let trace = run_kernel(&mut k, 300);
-        let restores: Vec<crate::DynInst> =
-            trace.iter().filter(|i| i.pc == restore_pc).copied().collect();
+        let restores: Vec<crate::DynInst> = trace
+            .iter()
+            .filter(|i| i.pc == restore_pc)
+            .copied()
+            .collect();
         let mut st = StridePredictor::new(Capacity::Unbounded);
-        assert!(score(&restores, &mut st) < 0.05, "restores are locally hard");
+        assert!(
+            score(&restores, &mut st) < 0.05,
+            "restores are locally hard"
+        );
         // Value producers between def and restore: ra + 4 body ops, so the
         // restore correlates with the def at distance 6 — within order 8.
         let acc = gdiff_accuracy_at(&trace, restore_pc, 8);
@@ -153,8 +183,11 @@ mod tests {
         // Each call site's live value is a counter: the defines are
         // stride predictable per site.
         let s = KernelSlot::for_site(0);
-        let defs: Vec<crate::DynInst> =
-            trace.iter().filter(|i| i.pc <= s.pc(1) && i.produces_value()).copied().collect();
+        let defs: Vec<crate::DynInst> = trace
+            .iter()
+            .filter(|i| i.pc <= s.pc(1) && i.produces_value())
+            .copied()
+            .collect();
         let mut st = StridePredictor::new(Capacity::Unbounded);
         assert!(score(&defs, &mut st) > 0.9);
     }

@@ -149,7 +149,13 @@ impl Kernel for CorrelationKernel {
         self.depth = {
             // sticky random walk: call depth trends in one direction for a
             // while (phasic call behaviour), reversing rarely
-            let d = self.depth as i64 + if rng.gen_bool(0.85) { self.dir } else { self.dir = -self.dir; self.dir };
+            let d = self.depth as i64
+                + if rng.gen_bool(0.85) {
+                    self.dir
+                } else {
+                    self.dir = -self.dir;
+                    self.dir
+                };
             d.clamp(0, 12) as u64
         };
         let stack = s.mem_base + 0x8000 + self.depth * 64;
@@ -157,7 +163,12 @@ impl Kernel for CorrelationKernel {
         // def: one of the two correlated producers (two control paths).
         let path = (rng.gen::<u8>() & 1) as usize;
         let v = self.next_hard(path, rng);
-        out.push(DynInst::alu(s.pc(path as u64), r_def, [Some(r_def), None], v));
+        out.push(DynInst::alu(
+            s.pc(path as u64),
+            r_def,
+            [Some(r_def), None],
+            v,
+        ));
         // spill (register pressure forces v to memory — Figure 2).
         out.push(DynInst::store(s.pc(2), r_def, r_sp, stack));
         let mut pc = 3u64;
@@ -186,12 +197,23 @@ impl Kernel for CorrelationKernel {
         // often misses; predicting the fill's value at dispatch lets the
         // deref issue immediately and overlap the miss (§7's mechanism).
         let deref_addr = s.mem_base + 0x10_0000 + (v.wrapping_mul(0x9E3779B9) & 0x3f_fff8);
-        out.push(DynInst::load(s.pc(pc), s.reg(7), r_fill, deref_addr, mix64(v)));
+        out.push(DynInst::load(
+            s.pc(pc),
+            s.reg(7),
+            r_fill,
+            deref_addr,
+            mix64(v),
+        ));
         pc += 1;
         // uses: value + constant (Figure 3's "explicit use").
         for (i, off) in self.use_offsets.iter().enumerate() {
             let r = s.reg(5);
-            out.push(DynInst::alu(s.pc(pc + i as u64), r, [Some(r_fill), None], v.wrapping_add(*off)));
+            out.push(DynInst::alu(
+                s.pc(pc + i as u64),
+                r,
+                [Some(r_fill), None],
+                v.wrapping_add(*off),
+            ));
         }
         pc += self.use_offsets.len() as u64;
         // loop-back branch on the reloaded value (Figure 2's bne).
@@ -274,7 +296,13 @@ impl Kernel for SaveRestoreKernel {
         self.depth = {
             // sticky random walk: call depth trends in one direction for a
             // while (phasic call behaviour), reversing rarely
-            let d = self.depth as i64 + if rng.gen_bool(0.85) { self.dir } else { self.dir = -self.dir; self.dir };
+            let d = self.depth as i64
+                + if rng.gen_bool(0.85) {
+                    self.dir
+                } else {
+                    self.dir = -self.dir;
+                    self.dir
+                };
             d.clamp(0, 12) as u64
         };
         let stack = s.mem_base + 0xC000 + self.depth * 256;
@@ -284,11 +312,18 @@ impl Kernel for SaveRestoreKernel {
             let v = match self.hard {
                 HardKind::Generational => mix64(self.values[path][i] ^ ((i as u64) << 32)),
                 HardKind::NoisyRange => (rng.gen_range(0u64..1024) / 24) * 24,
-                HardKind::PhasedStride => self.values[path][i].wrapping_add(self.phase_strides[path]),
+                HardKind::PhasedStride => {
+                    self.values[path][i].wrapping_add(self.phase_strides[path])
+                }
             };
             self.values[path][i] = v;
             let r = s.reg((i % 6) as u8);
-            out.push(DynInst::alu(s.pc((path * self.k + i) as u64), r, [Some(r), None], v));
+            out.push(DynInst::alu(
+                s.pc((path * self.k + i) as u64),
+                r,
+                [Some(r), None],
+                v,
+            ));
         }
         // Restores: shared pcs at 3k..4k, at distance exactly k.
         for i in 0..self.k {
@@ -318,7 +353,12 @@ impl Kernel for SaveRestoreKernel {
                 self.values[path][i].wrapping_add(17),
             ));
         }
-        out.push(DynInst::branch(s.pc((4 * self.k + 1) as u64), s.reg(0), true, s.pc(0)));
+        out.push(DynInst::branch(
+            s.pc((4 * self.k + 1) as u64),
+            s.reg(0),
+            true,
+            s.pc(0),
+        ));
     }
 
     fn name(&self) -> &'static str {
@@ -334,7 +374,13 @@ mod tests {
     use predictors::{Capacity, DfcmPredictor, StridePredictor};
 
     fn kernel(gap: usize, hard: HardKind) -> CorrelationKernel {
-        CorrelationKernel::new(KernelSlot::for_site(0), gap, &[4, 12], hard, FillerKind::Constant)
+        CorrelationKernel::new(
+            KernelSlot::for_site(0),
+            gap,
+            &[4, 12],
+            hard,
+            FillerKind::Constant,
+        )
     }
 
     fn gdiff_score(trace: &[crate::DynInst], order: usize) -> f64 {
@@ -348,10 +394,16 @@ mod tests {
         let fill_pc = k.fill_pc();
         let trace = run_kernel(&mut kernel(3, HardKind::Generational), 5);
         let s = KernelSlot::for_site(0);
-        let defs: Vec<u64> =
-            trace.iter().filter(|i| i.pc <= s.pc(1) && i.produces_value()).map(|i| i.value).collect();
-        let fills: Vec<u64> =
-            trace.iter().filter(|i| i.pc == fill_pc).map(|i| i.value).collect();
+        let defs: Vec<u64> = trace
+            .iter()
+            .filter(|i| i.pc <= s.pc(1) && i.produces_value())
+            .map(|i| i.value)
+            .collect();
+        let fills: Vec<u64> = trace
+            .iter()
+            .filter(|i| i.pc == fill_pc)
+            .map(|i| i.value)
+            .collect();
         assert_eq!(defs, fills);
     }
 
@@ -408,19 +460,28 @@ mod tests {
         // The defines (one bank per pc) stride steadily between phase
         // switches; the reload merges the banks and stays hard.
         let s = KernelSlot::for_site(0);
-        let defs: Vec<crate::DynInst> =
-            trace.iter().filter(|i| i.produces_value() && i.pc <= s.pc(1)).copied().collect();
+        let defs: Vec<crate::DynInst> = trace
+            .iter()
+            .filter(|i| i.produces_value() && i.pc <= s.pc(1))
+            .copied()
+            .collect();
         let mut st = StridePredictor::new(Capacity::Unbounded);
         let acc = score(&defs, &mut st);
-        assert!(acc > 0.8, "phased strides are locally predictable between switches: {acc}");
+        assert!(
+            acc > 0.8,
+            "phased strides are locally predictable between switches: {acc}"
+        );
     }
 
     #[test]
     fn noisy_range_resembles_figure1() {
         let trace = run_kernel(&mut kernel(2, HardKind::NoisyRange), 300);
         let s = KernelSlot::for_site(0);
-        let defs: Vec<u64> =
-            trace.iter().filter(|i| i.pc <= s.pc(1) && i.produces_value()).map(|i| i.value).collect();
+        let defs: Vec<u64> = trace
+            .iter()
+            .filter(|i| i.pc <= s.pc(1) && i.produces_value())
+            .map(|i| i.value)
+            .collect();
         assert!(defs.iter().all(|v| v % 24 == 0), "multiples of a granule");
         let distinct: std::collections::HashSet<_> = defs.iter().collect();
         assert!(distinct.len() > 8, "noisy, not constant");

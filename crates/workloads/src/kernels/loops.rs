@@ -35,9 +35,17 @@ impl LoopKernel {
     /// Panics if `counters` is empty or has more than 6 entries (the
     /// register window is 8 wide) or `burst` is zero.
     pub fn new(slot: KernelSlot, counters: &[(u64, u64)], burst: u64) -> Self {
-        assert!(!counters.is_empty() && counters.len() <= 6, "1..=6 counters");
+        assert!(
+            !counters.is_empty() && counters.len() <= 6,
+            "1..=6 counters"
+        );
         assert!(burst > 0, "burst must be nonzero");
-        LoopKernel { slot, counters: counters.to_vec(), burst, pad: 0 }
+        LoopKernel {
+            slot,
+            counters: counters.to_vec(),
+            burst,
+            pad: 0,
+        }
     }
 
     /// Adds `pad` dependent ALU operations to the loop body (a serial
@@ -72,17 +80,37 @@ impl Kernel for LoopKernel {
                 } else {
                     c0.wrapping_add(17 * (j + 1))
                 };
-                out.push(DynInst::alu(s.pc(n + j), r_chain, [Some(r_chain), Some(s.reg(0))], value));
+                out.push(DynInst::alu(
+                    s.pc(n + j),
+                    r_chain,
+                    [Some(r_chain), Some(s.reg(0))],
+                    value,
+                ));
             }
             // A data-dependent if inside the body (mostly taken), as real
             // loops have: keeps the front end honest.
             let data_taken = rng.gen_bool(0.92);
-            out.push(DynInst::branch(s.pc(n + self.pad), s.reg(6), data_taken, s.pc(n + self.pad + 2)));
+            out.push(DynInst::branch(
+                s.pc(n + self.pad),
+                s.reg(6),
+                data_taken,
+                s.pc(n + self.pad + 2),
+            ));
             if !data_taken {
-                out.push(DynInst::alu(s.pc(n + self.pad + 1), s.reg(5), [Some(s.reg(0)), None], c0 ^ 0x55));
+                out.push(DynInst::alu(
+                    s.pc(n + self.pad + 1),
+                    s.reg(5),
+                    [Some(s.reg(0)), None],
+                    c0 ^ 0x55,
+                ));
             }
             let taken = it + 1 != self.burst;
-            out.push(DynInst::branch(s.pc(n + self.pad + 2), s.reg(0), taken, s.pc(0)));
+            out.push(DynInst::branch(
+                s.pc(n + self.pad + 2),
+                s.reg(0),
+                taken,
+                s.pc(0),
+            ));
         }
     }
 
@@ -104,8 +132,11 @@ mod tests {
     #[test]
     fn counters_advance_by_stride() {
         let trace = run_kernel(&mut kernel(), 1);
-        let c0: Vec<u64> =
-            trace.iter().filter(|i| i.pc == KernelSlot::for_site(0).pc(0)).map(|i| i.value).collect();
+        let c0: Vec<u64> = trace
+            .iter()
+            .filter(|i| i.pc == KernelSlot::for_site(0).pc(0))
+            .map(|i| i.value)
+            .collect();
         assert_eq!(c0.len(), 16, "one burst of 16 iterations");
         assert_eq!(&c0[..3], &[4, 8, 12]);
     }
@@ -145,10 +176,17 @@ mod tests {
         let trace = run_kernel(&mut kernel(), 2);
         // Only look at the loop-back branch (the last pc of the body).
         let back_pc = KernelSlot::for_site(0).pc(3 + 2); // counters + pad(0) + data branch slots
-        let outcomes: Vec<bool> =
-            trace.iter().filter(|i| i.is_control() && i.pc == back_pc).map(|i| i.taken).collect();
+        let outcomes: Vec<bool> = trace
+            .iter()
+            .filter(|i| i.is_control() && i.pc == back_pc)
+            .map(|i| i.taken)
+            .collect();
         assert_eq!(outcomes.len(), 32);
-        assert_eq!(outcomes.iter().filter(|&&t| !t).count(), 2, "one exit per burst");
+        assert_eq!(
+            outcomes.iter().filter(|&&t| !t).count(),
+            2,
+            "one exit per burst"
+        );
         assert!(!outcomes[15] && !outcomes[31]);
     }
 

@@ -27,7 +27,12 @@ impl PeriodicKernel {
     pub fn new(slot: KernelSlot, pattern: &[u64], per_block: usize) -> Self {
         assert!(pattern.len() >= 2, "a period needs at least two values");
         assert!((1..=4).contains(&per_block), "1..=4 values per block");
-        PeriodicKernel { slot, pattern: pattern.to_vec(), idx: 0, per_block }
+        PeriodicKernel {
+            slot,
+            pattern: pattern.to_vec(),
+            idx: 0,
+            per_block,
+        }
     }
 
     /// The period length.
@@ -72,7 +77,11 @@ mod tests {
     #[test]
     fn values_cycle() {
         let trace = run_kernel(&mut kernel(), 7);
-        let vals: Vec<u64> = trace.iter().filter(|i| i.produces_value()).map(|i| i.value).collect();
+        let vals: Vec<u64> = trace
+            .iter()
+            .filter(|i| i.produces_value())
+            .map(|i| i.value)
+            .collect();
         assert_eq!(vals, vec![17, 3, 90, 41, 5, 17, 3]);
     }
 

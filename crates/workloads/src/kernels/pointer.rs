@@ -237,7 +237,10 @@ mod tests {
         let mut b = StridePredictor::new(Capacity::Unbounded);
         let ra = score(&regular, &mut a);
         let rb = score(&jittery, &mut b);
-        assert!(rb < ra, "jitter must reduce stride predictability: {rb} vs {ra}");
+        assert!(
+            rb < ra,
+            "jitter must reduce stride predictability: {rb} vs {ra}"
+        );
     }
 
     #[test]

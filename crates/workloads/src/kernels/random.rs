@@ -26,8 +26,16 @@ impl RandomKernel {
     pub fn new(slot: KernelSlot, per_block: usize, bits: u32) -> Self {
         assert!((1..=4).contains(&per_block), "1..=4 values per block");
         assert!((1..=64).contains(&bits), "1..=64 bits");
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
-        RandomKernel { slot, per_block, mask }
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        RandomKernel {
+            slot,
+            per_block,
+            mask,
+        }
     }
 }
 

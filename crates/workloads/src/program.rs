@@ -52,11 +52,22 @@ impl Program {
     ///
     /// Panics if `sites` or `schedule` is empty, a schedule entry is out of
     /// range, or `skip_prob` is not in `0.0..1.0`.
-    pub fn new(sites: Vec<Box<dyn Kernel>>, schedule: Vec<usize>, skip_prob: f64, seed: u64) -> Self {
+    pub fn new(
+        sites: Vec<Box<dyn Kernel>>,
+        schedule: Vec<usize>,
+        skip_prob: f64,
+        seed: u64,
+    ) -> Self {
         assert!(!sites.is_empty(), "a program needs at least one site");
         assert!(!schedule.is_empty(), "a program needs a schedule");
-        assert!(schedule.iter().all(|&i| i < sites.len()), "schedule index out of range");
-        assert!((0.0..1.0).contains(&skip_prob), "skip probability in 0.0..1.0");
+        assert!(
+            schedule.iter().all(|&i| i < sites.len()),
+            "schedule index out of range"
+        );
+        assert!(
+            (0.0..1.0).contains(&skip_prob),
+            "skip probability in 0.0..1.0"
+        );
         Program {
             sites,
             schedule,
@@ -134,8 +145,14 @@ mod tests {
         let trace: Vec<_> = tiny_program(0.0, 7).take(3000).collect();
         let s0 = KernelSlot::for_site(0);
         let s1 = KernelSlot::for_site(1);
-        let c0 = trace.iter().filter(|i| i.pc >= s0.pc_base && i.pc < s0.pc_base + 0x1000).count();
-        let c1 = trace.iter().filter(|i| i.pc >= s1.pc_base && i.pc < s1.pc_base + 0x1000).count();
+        let c0 = trace
+            .iter()
+            .filter(|i| i.pc >= s0.pc_base && i.pc < s0.pc_base + 0x1000)
+            .count();
+        let c1 = trace
+            .iter()
+            .filter(|i| i.pc >= s1.pc_base && i.pc < s1.pc_base + 0x1000)
+            .count();
         // loop kernel emits 2 insts per invocation, random 1: expect 4:1.
         assert!(c0 > c1 * 3, "c0={c0} c1={c1}");
     }

@@ -20,9 +20,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::kernels::{
-    ArrayData, ArrayWalkKernel, BranchyKernel, CallKernel, CorrelationKernel, FillerKind,
-    HardKind, Indexing, Kernel, KernelSlot, LoopKernel, PayloadKind, PeriodicKernel,
-    PointerChaseKernel, RandomKernel, SaveRestoreKernel,
+    ArrayData, ArrayWalkKernel, BranchyKernel, CallKernel, CorrelationKernel, FillerKind, HardKind,
+    Indexing, Kernel, KernelSlot, LoopKernel, PayloadKind, PeriodicKernel, PointerChaseKernel,
+    RandomKernel, SaveRestoreKernel,
 };
 use crate::Program;
 
@@ -83,102 +83,209 @@ impl Benchmark {
         let mut b = Builder::new(seed);
         match self {
             Benchmark::Bzip2 => {
-                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 4), (640, 4), (9, 4)], 40).padded(5)));
+                let lp = b.add(|s, _| {
+                    Box::new(LoopKernel::new(s, &[(0, 4), (640, 4), (9, 4)], 40).padded(5))
+                });
                 let a1 = b.add(|s, _| {
-                    Box::new(ArrayWalkKernel::with_burst(
-                        s, 2048, 8, ArrayData::Affine { base: 0x2_0000, delta: 8 }, Indexing::Sweep, 40,
-                    ).padded(4))
+                    Box::new(
+                        ArrayWalkKernel::with_burst(
+                            s,
+                            2048,
+                            8,
+                            ArrayData::Affine {
+                                base: 0x2_0000,
+                                delta: 8,
+                            },
+                            Indexing::Sweep,
+                            40,
+                        )
+                        .padded(4),
+                    )
                 });
                 let a2 = b.add(|s, _| {
-                    Box::new(ArrayWalkKernel::with_burst(s, 512, 8, ArrayData::Hashed, Indexing::Sweep, 2).padded(4))
+                    Box::new(
+                        ArrayWalkKernel::with_burst(
+                            s,
+                            512,
+                            8,
+                            ArrayData::Hashed,
+                            Indexing::Sweep,
+                            2,
+                        )
+                        .padded(4),
+                    )
                 });
                 let co = b.add(|s, _| {
-                    Box::new(CorrelationKernel::new(s, 4, &[4, 12], HardKind::Generational, FillerKind::Strided))
+                    Box::new(CorrelationKernel::new(
+                        s,
+                        4,
+                        &[4, 12],
+                        HardKind::Generational,
+                        FillerKind::Strided,
+                    ))
                 });
                 let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 4, 24)));
-                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
-                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 8, HardKind::PhasedStride)));
+                let sr =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
+                let sp =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 8, HardKind::PhasedStride)));
                 b.schedule(&[lp, a1, sp, co, a2, rn, sr, sp, co, rn, sr, sp, rn]);
                 b.build(0.03)
             }
             Benchmark::Gap => {
-                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 14, HardKind::Generational)));
-                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 8), (32, 8)], 20).padded(5)));
-                let ph = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 6, HardKind::PhasedStride)));
+                let sr =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 14, HardKind::Generational)));
+                let lp =
+                    b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 8), (32, 8)], 20).padded(5)));
+                let ph =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 6, HardKind::PhasedStride)));
                 let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 4, 32)));
                 b.schedule(&[sr, lp, ph, rn, sr, rn]);
                 b.build(0.02)
             }
             Benchmark::Gcc => {
-                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 4), (96, 4)], 32).padded(5)));
+                let lp =
+                    b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 4), (96, 4)], 32).padded(5)));
                 let ca = b.add(|s, _| Box::new(CallKernel::new(s, 4, true)));
                 let ce = b.add(|s, _| Box::new(CallKernel::new(s, 3, false)));
                 let pe = b.add(|s, _| Box::new(PeriodicKernel::new(s, &[3, 17, 3, 90, 41], 1)));
                 let co = b.add(|s, _| {
-                    Box::new(CorrelationKernel::new(s, 5, &[8], HardKind::Generational, FillerKind::Strided))
+                    Box::new(CorrelationKernel::new(
+                        s,
+                        5,
+                        &[8],
+                        HardKind::Generational,
+                        FillerKind::Strided,
+                    ))
                 });
                 let ar = b.add(|s, _| {
-                    Box::new(ArrayWalkKernel::with_burst(s, 2048, 8, ArrayData::Evolving, Indexing::Scattered, 5).padded(4))
+                    Box::new(
+                        ArrayWalkKernel::with_burst(
+                            s,
+                            2048,
+                            8,
+                            ArrayData::Evolving,
+                            Indexing::Scattered,
+                            5,
+                        )
+                        .padded(4),
+                    )
                 });
                 let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 2, 32)));
                 let br = b.add(|s, _| Box::new(BranchyKernel::new(s, 0.55)));
-                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
-                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 8, HardKind::PhasedStride)));
+                let sr =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
+                let sp =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 8, HardKind::PhasedStride)));
                 b.schedule(&[lp, ca, pe, sp, co, ce, ar, br, sr, sp, co, sr, sp, rn]);
                 b.build(0.08)
             }
             Benchmark::Gzip => {
-                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 2), (16, 2), (5, 2)], 40).padded(5)));
+                let lp = b.add(|s, _| {
+                    Box::new(LoopKernel::new(s, &[(0, 2), (16, 2), (5, 2)], 40).padded(5))
+                });
                 let a1 = b.add(|s, _| {
-                    Box::new(ArrayWalkKernel::with_burst(
-                        s, 4096, 4, ArrayData::Affine { base: 7, delta: 4 }, Indexing::Sweep, 40,
-                    ).padded(4))
+                    Box::new(
+                        ArrayWalkKernel::with_burst(
+                            s,
+                            4096,
+                            4,
+                            ArrayData::Affine { base: 7, delta: 4 },
+                            Indexing::Sweep,
+                            40,
+                        )
+                        .padded(4),
+                    )
                 });
                 let co = b.add(|s, _| {
-                    Box::new(CorrelationKernel::new(s, 3, &[4, 12], HardKind::Generational, FillerKind::Strided))
+                    Box::new(CorrelationKernel::new(
+                        s,
+                        3,
+                        &[4, 12],
+                        HardKind::Generational,
+                        FillerKind::Strided,
+                    ))
                 });
                 let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 4, 16)));
                 let pe = b.add(|s, _| Box::new(PeriodicKernel::new(s, &[258, 4, 258, 10, 2], 1)));
-                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 18, HardKind::Generational)));
-                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
+                let sr =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 18, HardKind::Generational)));
+                let sp =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
                 b.schedule(&[lp, a1, sp, co, rn, pe, sr, sp, co, sr, sp, rn, rn]);
                 b.build(0.04)
             }
             Benchmark::Mcf => {
                 let p1 = b.add(|s, rng| {
                     Box::new(
-                        PointerChaseKernel::new(s, 120_000, 40, 0.25, PayloadKind::CoAllocated, rng)
-                            .with_hops(128).padded(4).with_payload_churn(0.25),
+                        PointerChaseKernel::new(
+                            s,
+                            120_000,
+                            40,
+                            0.25,
+                            PayloadKind::CoAllocated,
+                            rng,
+                        )
+                        .with_hops(128)
+                        .padded(4)
+                        .with_payload_churn(0.25),
                     )
                 });
                 let p2 = b.add(|s, rng| {
                     Box::new(
                         PointerChaseKernel::new(s, 80_000, 64, 0.30, PayloadKind::CoAllocated, rng)
-                            .with_hops(96).padded(4).with_payload_churn(0.35),
+                            .with_hops(96)
+                            .padded(4)
+                            .with_payload_churn(0.35),
                     )
                 });
                 let co = b.add(|s, _| {
-                    Box::new(CorrelationKernel::new(s, 4, &[], HardKind::Generational, FillerKind::Strided))
+                    Box::new(CorrelationKernel::new(
+                        s,
+                        4,
+                        &[],
+                        HardKind::Generational,
+                        FillerKind::Strided,
+                    ))
                 });
-                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 4), (40, 4)], 12).padded(5)));
+                let lp =
+                    b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 4), (40, 4)], 12).padded(5)));
                 let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 2, 32)));
-                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
-                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 8, HardKind::PhasedStride)));
+                let sr =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
+                let sp =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 8, HardKind::PhasedStride)));
                 b.schedule(&[p1, co, sp, p2, sr, lp, p1, co, sp, sr, rn, sp, sr]);
                 b.build(0.02)
             }
             Benchmark::Parser => {
                 let c1 = b.add(|s, _| {
-                    Box::new(CorrelationKernel::new(s, 3, &[4, 24], HardKind::NoisyRange, FillerKind::Strided))
+                    Box::new(CorrelationKernel::new(
+                        s,
+                        3,
+                        &[4, 24],
+                        HardKind::NoisyRange,
+                        FillerKind::Strided,
+                    ))
                 });
                 let c2 = b.add(|s, _| {
-                    Box::new(CorrelationKernel::new(s, 5, &[8], HardKind::Generational, FillerKind::Strided))
+                    Box::new(CorrelationKernel::new(
+                        s,
+                        5,
+                        &[8],
+                        HardKind::Generational,
+                        FillerKind::Strided,
+                    ))
                 });
-                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 18, HardKind::NoisyRange)));
-                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
+                let sr =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 18, HardKind::NoisyRange)));
+                let sp =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
                 let ca = b.add(|s, _| Box::new(CallKernel::new(s, 4, true)));
-                let pe = b.add(|s, _| Box::new(PeriodicKernel::new(s, &[115, 111, 114, 100, 95], 2)));
-                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 8), (24, 8)], 12).padded(5)));
+                let pe =
+                    b.add(|s, _| Box::new(PeriodicKernel::new(s, &[115, 111, 114, 100, 95], 2)));
+                let lp =
+                    b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 8), (24, 8)], 12).padded(5)));
                 let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 1, 16)));
                 b.schedule(&[c1, ca, pe, sp, c2, lp, c1, sr, sp, rn, sp]);
                 b.build(0.06)
@@ -186,31 +293,66 @@ impl Benchmark {
             Benchmark::Perl => {
                 let ca = b.add(|s, _| Box::new(CallKernel::new(s, 5, true)));
                 let cb = b.add(|s, _| Box::new(CallKernel::new(s, 3, false)));
-                let p1 = b.add(|s, _| Box::new(PeriodicKernel::new(s, &[36, 105, 102, 36, 123, 125], 1)));
+                let p1 = b
+                    .add(|s, _| Box::new(PeriodicKernel::new(s, &[36, 105, 102, 36, 123, 125], 1)));
                 let co = b.add(|s, _| {
-                    Box::new(CorrelationKernel::new(s, 3, &[4], HardKind::Generational, FillerKind::Strided))
+                    Box::new(CorrelationKernel::new(
+                        s,
+                        3,
+                        &[4],
+                        HardKind::Generational,
+                        FillerKind::Strided,
+                    ))
                 });
-                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 1), (8, 1)], 16).padded(5)));
+                let lp =
+                    b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 1), (8, 1)], 16).padded(5)));
                 let ar = b.add(|s, _| {
-                    Box::new(ArrayWalkKernel::with_burst(s, 1024, 8, ArrayData::Evolving, Indexing::Scattered, 3).padded(4))
+                    Box::new(
+                        ArrayWalkKernel::with_burst(
+                            s,
+                            1024,
+                            8,
+                            ArrayData::Evolving,
+                            Indexing::Scattered,
+                            3,
+                        )
+                        .padded(4),
+                    )
                 });
                 let br = b.add(|s, _| Box::new(BranchyKernel::new(s, 0.6)));
-                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
-                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
+                let sr =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
+                let sp =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
                 b.schedule(&[ca, p1, sp, co, cb, lp, ar, sr, sp, co, sr, sp, br]);
                 b.build(0.07)
             }
             Benchmark::Twolf => {
                 let c1 = b.add(|s, _| {
-                    Box::new(CorrelationKernel::new(s, 4, &[4, 12], HardKind::Generational, FillerKind::Strided))
+                    Box::new(CorrelationKernel::new(
+                        s,
+                        4,
+                        &[4, 12],
+                        HardKind::Generational,
+                        FillerKind::Strided,
+                    ))
                 });
                 let c2 = b.add(|s, _| {
-                    Box::new(CorrelationKernel::new(s, 6, &[8], HardKind::Generational, FillerKind::Random))
+                    Box::new(CorrelationKernel::new(
+                        s,
+                        6,
+                        &[8],
+                        HardKind::Generational,
+                        FillerKind::Random,
+                    ))
                 });
-                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
-                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
+                let sr =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
+                let sp =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
                 let ca = b.add(|s, _| Box::new(CallKernel::new(s, 6, true)));
-                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 16), (64, 16)], 10).padded(5)));
+                let lp =
+                    b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 16), (64, 16)], 10).padded(5)));
                 let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 2, 28)));
                 let br = b.add(|s, _| Box::new(BranchyKernel::new(s, 0.5)));
                 b.schedule(&[c1, ca, sp, c2, lp, sr, sp, rn, sp, br]);
@@ -220,32 +362,72 @@ impl Benchmark {
                 let ca = b.add(|s, _| Box::new(CallKernel::new(s, 4, false)));
                 let cb = b.add(|s, _| Box::new(CallKernel::new(s, 4, true)));
                 let a1 = b.add(|s, _| {
-                    Box::new(ArrayWalkKernel::with_burst(
-                        s, 1024, 16, ArrayData::Affine { base: 0x4000, delta: 16 }, Indexing::Sweep, 36,
-                    ).padded(4))
+                    Box::new(
+                        ArrayWalkKernel::with_burst(
+                            s,
+                            1024,
+                            16,
+                            ArrayData::Affine {
+                                base: 0x4000,
+                                delta: 16,
+                            },
+                            Indexing::Sweep,
+                            36,
+                        )
+                        .padded(4),
+                    )
                 });
                 let co = b.add(|s, _| {
-                    Box::new(CorrelationKernel::new(s, 6, &[8, 16], HardKind::Generational, FillerKind::Strided))
+                    Box::new(CorrelationKernel::new(
+                        s,
+                        6,
+                        &[8, 16],
+                        HardKind::Generational,
+                        FillerKind::Strided,
+                    ))
                 });
                 let pe = b.add(|s, _| Box::new(PeriodicKernel::new(s, &[1, 12, 1, 44], 1)));
-                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 4), (100, 4), (3, 4)], 32).padded(5)));
-                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 18, HardKind::Generational)));
-                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 8, HardKind::PhasedStride)));
+                let lp = b.add(|s, _| {
+                    Box::new(LoopKernel::new(s, &[(0, 4), (100, 4), (3, 4)], 32).padded(5))
+                });
+                let sr =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 18, HardKind::Generational)));
+                let sp =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 8, HardKind::PhasedStride)));
                 b.schedule(&[ca, a1, sp, co, cb, pe, lp, sr, sp, co, sr, sp, ca]);
                 b.build(0.04)
             }
             Benchmark::Vpr => {
-                let lp = b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 4), (28, 4)], 32).padded(5)));
+                let lp =
+                    b.add(|s, _| Box::new(LoopKernel::new(s, &[(0, 4), (28, 4)], 32).padded(5)));
                 let a1 = b.add(|s, _| {
-                    Box::new(ArrayWalkKernel::with_burst(s, 4096, 8, ArrayData::Evolving, Indexing::Scattered, 4).padded(4))
+                    Box::new(
+                        ArrayWalkKernel::with_burst(
+                            s,
+                            4096,
+                            8,
+                            ArrayData::Evolving,
+                            Indexing::Scattered,
+                            4,
+                        )
+                        .padded(4),
+                    )
                 });
                 let co = b.add(|s, _| {
-                    Box::new(CorrelationKernel::new(s, 4, &[8], HardKind::PhasedStride, FillerKind::Strided))
+                    Box::new(CorrelationKernel::new(
+                        s,
+                        4,
+                        &[8],
+                        HardKind::PhasedStride,
+                        FillerKind::Strided,
+                    ))
                 });
                 let rn = b.add(|s, _| Box::new(RandomKernel::new(s, 2, 24)));
                 let br = b.add(|s, _| Box::new(BranchyKernel::new(s, 0.45)));
-                let sr = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
-                let sp = b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
+                let sr =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 20, HardKind::Generational)));
+                let sp =
+                    b.add(|s, _| Box::new(SaveRestoreKernel::new(s, 7, HardKind::PhasedStride)));
                 b.schedule(&[lp, a1, sp, co, rn, sr, sp, co, sr, sp, br, lp]);
                 b.build(0.05)
             }
@@ -269,7 +451,12 @@ struct Builder {
 
 impl Builder {
     fn new(seed: u64) -> Self {
-        Builder { sites: Vec::new(), schedule: Vec::new(), rng: SmallRng::seed_from_u64(seed ^ 0xC0FF_EE00), seed }
+        Builder {
+            sites: Vec::new(),
+            schedule: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed ^ 0xC0FF_EE00),
+            seed,
+        }
     }
 
     fn add(&mut self, make: impl FnOnce(KernelSlot, &mut SmallRng) -> Box<dyn Kernel>) -> usize {
@@ -323,8 +510,11 @@ mod tests {
     fn mcf_touches_a_large_footprint() {
         use std::collections::HashSet;
         let trace: Vec<_> = Benchmark::Mcf.build(1).take(200_000).collect();
-        let lines: HashSet<u64> =
-            trace.iter().filter_map(|i| i.mem_addr).map(|a| a / 64).collect();
+        let lines: HashSet<u64> = trace
+            .iter()
+            .filter_map(|i| i.mem_addr)
+            .map(|a| a / 64)
+            .collect();
         // 64 KB cache = 1024 lines; mcf must touch far more.
         assert!(lines.len() > 10_000, "mcf footprint: {} lines", lines.len());
     }
@@ -333,8 +523,11 @@ mod tests {
     fn gzip_fits_mostly_in_cache() {
         use std::collections::HashSet;
         let trace: Vec<_> = Benchmark::Gzip.build(1).take(200_000).collect();
-        let lines: HashSet<u64> =
-            trace.iter().filter_map(|i| i.mem_addr).map(|a| a / 64).collect();
+        let lines: HashSet<u64> = trace
+            .iter()
+            .filter_map(|i| i.mem_addr)
+            .map(|a| a / 64)
+            .collect();
         assert!(lines.len() < 2048, "gzip footprint: {} lines", lines.len());
     }
 }

@@ -51,7 +51,11 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -99,7 +103,12 @@ pub fn format_inst(inst: &DynInst) -> String {
         let _ = write!(s, " m{a:x}");
     }
     if inst.is_control() {
-        let _ = write!(s, " b{} {:x}", if inst.taken { "T" } else { "N" }, inst.target);
+        let _ = write!(
+            s,
+            " b{} {:x}",
+            if inst.taken { "T" } else { "N" },
+            inst.target
+        );
     }
     s
 }
@@ -143,8 +152,7 @@ pub fn parse_line(line: &str) -> Result<DynInst, ParseTraceError> {
                 if n_src >= 2 {
                     return Err(err("more than two sources".into()));
                 }
-                inst.srcs[n_src] =
-                    Some(rest.parse().map_err(|e| err(format!("bad src: {e}")))?);
+                inst.srcs[n_src] = Some(rest.parse().map_err(|e| err(format!("bad src: {e}")))?);
                 n_src += 1;
             }
             "v" => {
@@ -152,9 +160,8 @@ pub fn parse_line(line: &str) -> Result<DynInst, ParseTraceError> {
                     u64::from_str_radix(rest, 16).map_err(|e| err(format!("bad value: {e}")))?
             }
             "m" => {
-                inst.mem_addr = Some(
-                    u64::from_str_radix(rest, 16).map_err(|e| err(format!("bad addr: {e}")))?,
-                )
+                inst.mem_addr =
+                    Some(u64::from_str_radix(rest, 16).map_err(|e| err(format!("bad addr: {e}")))?)
             }
             "b" => {
                 inst.taken = match rest {
@@ -181,10 +188,7 @@ pub fn parse_line(line: &str) -> Result<DynInst, ParseTraceError> {
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
-pub fn write_trace<W: Write>(
-    mut w: W,
-    insts: impl IntoIterator<Item = DynInst>,
-) -> io::Result<()> {
+pub fn write_trace<W: Write>(mut w: W, insts: impl IntoIterator<Item = DynInst>) -> io::Result<()> {
     for inst in insts {
         writeln!(w, "{}", format_inst(&inst))?;
     }
@@ -197,7 +201,10 @@ pub fn write_trace<W: Write>(
 /// buffering; each item is the parsed instruction or a positioned error.
 pub fn read_trace<R: BufRead>(r: R) -> impl Iterator<Item = Result<DynInst, ParseTraceError>> {
     r.lines().enumerate().filter_map(|(i, line)| match line {
-        Err(e) => Some(Err(ParseTraceError { line: i + 1, message: format!("io error: {e}") })),
+        Err(e) => Some(Err(ParseTraceError {
+            line: i + 1,
+            message: format!("io error: {e}"),
+        })),
         Ok(l) => {
             let t = l.trim();
             if t.is_empty() || t.starts_with('#') {
@@ -239,16 +246,18 @@ mod tests {
         let original: Vec<DynInst> = Benchmark::Gcc.build(7).take(5_000).collect();
         let mut buf = Vec::new();
         write_trace(&mut buf, original.iter().copied()).unwrap();
-        let parsed: Vec<DynInst> =
-            read_trace(io::Cursor::new(buf)).collect::<Result<_, _>>().unwrap();
+        let parsed: Vec<DynInst> = read_trace(io::Cursor::new(buf))
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert_eq!(parsed, original);
     }
 
     #[test]
     fn comments_and_blank_lines_are_skipped() {
         let text = "# a comment\n\n400 alu d1 v2a\n   \n# another\n404 jump bT 400\n";
-        let parsed: Vec<DynInst> =
-            read_trace(io::Cursor::new(text)).collect::<Result<_, _>>().unwrap();
+        let parsed: Vec<DynInst> = read_trace(io::Cursor::new(text))
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].value, 0x2a);
         assert!(parsed[1].taken);

@@ -7,16 +7,23 @@ use workloads::trace::{format_inst, parse_line, read_trace, write_trace};
 use workloads::{Benchmark, DynInst};
 
 fn arb_inst() -> impl Strategy<Value = DynInst> {
-    (any::<u64>(), 0u8..7, 0u8..64, 0u8..64, any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
-        |(pc, kind, r1, r2, value, mem, taken)| match kind {
+    (
+        any::<u64>(),
+        0u8..7,
+        0u8..64,
+        0u8..64,
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(pc, kind, r1, r2, value, mem, taken)| match kind {
             0 | 1 => DynInst::alu(pc, r1, [Some(r2), None], value),
             2 => DynInst::mul(pc, r1, [Some(r2), Some(r1)], value),
             3 => DynInst::load(pc, r1, r2, mem, value),
             4 => DynInst::store(pc, r1, r2, mem),
             5 => DynInst::branch(pc, r1, taken, mem),
             _ => DynInst::jump(pc, mem),
-        },
-    )
+        })
 }
 
 proptest! {

@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace: Vec<DynInst> =
         read_trace(BufReader::new(File::open(&path)?)).collect::<Result<_, _>>()?;
     let values = trace.iter().filter(|i| i.produces_value()).count();
-    println!("  {} instructions, {} value-producing\n", trace.len(), values);
+    println!(
+        "  {} instructions, {} value-producing\n",
+        trace.len(),
+        values
+    );
 
     // Profile the value stream.
     let mut stride = StridePredictor::new(Capacity::Entries(8192));
@@ -50,17 +54,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("profile accuracy over the trace:");
-    println!("  local stride: {:5.1}%", 100.0 * s_ok as f64 / values.max(1) as f64);
-    println!("  gdiff (q=8):  {:5.1}%", 100.0 * g_ok as f64 / values.max(1) as f64);
+    println!(
+        "  local stride: {:5.1}%",
+        100.0 * s_ok as f64 / values.max(1) as f64
+    );
+    println!(
+        "  gdiff (q=8):  {:5.1}%",
+        100.0 * g_ok as f64 / values.max(1) as f64
+    );
 
     // And run it through the Table 1 machine.
     let n = trace.len() as u64;
-    let stats = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp)).run(
-        trace,
-        n / 10,
-        u64::MAX,
+    let stats = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp)).run(trace, n / 10, u64::MAX);
+    println!(
+        "\npipeline (Table 1 config): IPC {:.2}, D-miss {:4.1}%, branch mispredict {:4.1}%",
+        stats.ipc(),
+        100.0 * stats.dcache_miss_rate,
+        100.0 * stats.branch_mispredict_rate
     );
-    println!("\npipeline (Table 1 config): IPC {:.2}, D-miss {:4.1}%, branch mispredict {:4.1}%",
-        stats.ipc(), 100.0 * stats.dcache_miss_rate, 100.0 * stats.branch_mispredict_rate);
     Ok(())
 }

@@ -15,18 +15,23 @@ fn main() {
 
     let mut obs = AddressPredictionObserver::paper_default();
     let trace = bench.build(42).take(1_200_000);
-    let stats = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp)).run_with_observer(
-        trace, 100_000, 400_000, &mut obs,
-    );
+    let stats = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp))
+        .run_with_observer(trace, 100_000, 400_000, &mut obs);
 
-    println!("  D-cache miss rate: {:4.1}%  (mcf thrashes a 64 KB cache)", 100.0 * stats.dcache_miss_rate);
+    println!(
+        "  D-cache miss rate: {:4.1}%  (mcf thrashes a 64 KB cache)",
+        100.0 * stats.dcache_miss_rate
+    );
     println!();
     let rows = [
         ("local stride", &obs.stride_stats),
         ("gdiff (global)", &obs.gdiff_stats),
         ("markov (256K)", &obs.markov_stats),
     ];
-    println!("  {:<16} {:>12} {:>12} {:>14} {:>14}", "predictor", "cov (all)", "acc (all)", "cov (missing)", "acc (missing)");
+    println!(
+        "  {:<16} {:>12} {:>12} {:>14} {:>14}",
+        "predictor", "cov (all)", "acc (all)", "cov (missing)", "acc (missing)"
+    );
     for (name, (all, missing)) in rows {
         println!(
             "  {:<16} {:>11.1}% {:>11.1}% {:>13.1}% {:>13.1}%",
@@ -39,5 +44,8 @@ fn main() {
     }
     println!();
     println!("a predicted address for a missing load is a prefetch candidate:");
-    println!("issuing it at dispatch hides part of the {}-cycle miss penalty.", PipelineConfig::r10k().dcache.miss_penalty);
+    println!(
+        "issuing it at dispatch hides part of the {}-cycle miss penalty.",
+        PipelineConfig::r10k().dcache.miss_penalty
+    );
 }

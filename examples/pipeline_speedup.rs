@@ -42,7 +42,13 @@ fn main() {
         100.0 * gd.vp.coverage(),
     );
 
-    println!("\nvalue delay observed: mean {:.1} values between dispatch and write-back", gd.delays.mean());
-    println!("reissues due to value misprediction: {} of {} retired", gd.reissues, gd.retired);
+    println!(
+        "\nvalue delay observed: mean {:.1} values between dispatch and write-back",
+        gd.delays.mean()
+    );
+    println!(
+        "reissues due to value misprediction: {} of {} retired",
+        gd.reissues, gd.retired
+    );
     println!("\n(try: cargo run -p harness --release --example pipeline_speedup mcf)");
 }

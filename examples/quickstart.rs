@@ -60,12 +60,22 @@ fn main() {
     }
 
     println!("spill/fill reload of an unpredictable value, 10k iterations:");
-    println!("  local stride accuracy: {:5.1}%", 100.0 * s_ok as f64 / total as f64);
-    println!("  gdiff(q=8) accuracy:   {:5.1}%", 100.0 * g_ok as f64 / total as f64);
+    println!(
+        "  local stride accuracy: {:5.1}%",
+        100.0 * s_ok as f64 / total as f64
+    );
+    println!(
+        "  gdiff(q=8) accuracy:   {:5.1}%",
+        100.0 * g_ok as f64 / total as f64
+    );
     println!();
     println!("gdiff learned the correlation in two productions: the reload's value");
     println!("always sits at global distance 3 with difference 0 (paper §3, Figure 7).");
 
     let entry = gdiff.core().entry(RELOAD).expect("trained entry");
-    println!("learned distance: {:?}, learned diff: {:?}", entry.distance(), entry.diff(3));
+    println!(
+        "learned distance: {:?}, learned diff: {:?}",
+        entry.distance(),
+        entry.diff(3)
+    );
 }

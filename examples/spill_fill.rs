@@ -35,10 +35,22 @@ fn main() {
     println!("profile accuracy on {bench} (350k values after 50k warm-up):\n");
 
     let mut predictors: Vec<(&str, Box<dyn ValuePredictor>)> = vec![
-        ("last-value", Box::new(LastValuePredictor::new(Capacity::Unbounded))),
-        ("local stride (2-delta)", Box::new(StridePredictor::new(Capacity::Unbounded))),
-        ("local context (DFCM)", Box::new(DfcmPredictor::new(Capacity::Unbounded, 4, 16))),
-        ("PI (order-1 global context)", Box::new(PiPredictor::new(Capacity::Unbounded))),
+        (
+            "last-value",
+            Box::new(LastValuePredictor::new(Capacity::Unbounded)),
+        ),
+        (
+            "local stride (2-delta)",
+            Box::new(StridePredictor::new(Capacity::Unbounded)),
+        ),
+        (
+            "local context (DFCM)",
+            Box::new(DfcmPredictor::new(Capacity::Unbounded, 4, 16)),
+        ),
+        (
+            "PI (order-1 global context)",
+            Box::new(PiPredictor::new(Capacity::Unbounded)),
+        ),
         (
             "global context (order 3)",
             Box::new(GlobalContextPredictor::new(Capacity::Unbounded, 3, 16)),
@@ -51,8 +63,14 @@ fn main() {
                 Capacity::Unbounded,
             )),
         ),
-        ("gdiff (q=8)", Box::new(GDiffPredictor::new(Capacity::Unbounded, 8))),
-        ("gdiff (q=32)", Box::new(GDiffPredictor::new(Capacity::Unbounded, 32))),
+        (
+            "gdiff (q=8)",
+            Box::new(GDiffPredictor::new(Capacity::Unbounded, 8)),
+        ),
+        (
+            "gdiff (q=32)",
+            Box::new(GDiffPredictor::new(Capacity::Unbounded, 32)),
+        ),
     ];
 
     for (name, p) in predictors.iter_mut() {

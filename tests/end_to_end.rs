@@ -18,8 +18,11 @@ fn traces_are_deterministic_across_crate_boundaries() {
     assert_eq!(a, b);
     // And the full pipeline is deterministic on top of them.
     let run = || {
-        Simulator::new(PipelineConfig::r10k(), Box::new(NoVp))
-            .run(Benchmark::Twolf.build(9).take(60_000), 5_000, 20_000)
+        Simulator::new(PipelineConfig::r10k(), Box::new(NoVp)).run(
+            Benchmark::Twolf.build(9).take(60_000),
+            5_000,
+            20_000,
+        )
     };
     assert_eq!(run().cycles, run().cycles);
 }
@@ -27,8 +30,16 @@ fn traces_are_deterministic_across_crate_boundaries() {
 #[test]
 fn gdiff_beats_local_stride_on_every_benchmark_profile() {
     for bench in Benchmark::ALL {
-        let st = run_profile(bench, &mut StridePredictor::new(Capacity::Unbounded), tiny());
-        let gd = run_profile(bench, &mut GDiffPredictor::new(Capacity::Unbounded, 8), tiny());
+        let st = run_profile(
+            bench,
+            &mut StridePredictor::new(Capacity::Unbounded),
+            tiny(),
+        );
+        let gd = run_profile(
+            bench,
+            &mut GDiffPredictor::new(Capacity::Unbounded, 8),
+            tiny(),
+        );
         assert!(
             gd.accuracy() > st.accuracy() - 0.03,
             "{bench}: gdiff {:.3} vs stride {:.3}",
@@ -41,8 +52,16 @@ fn gdiff_beats_local_stride_on_every_benchmark_profile() {
 #[test]
 fn queue_order_32_never_loses_to_8() {
     for bench in [Benchmark::Gap, Benchmark::Parser, Benchmark::Mcf] {
-        let q8 = run_profile(bench, &mut GDiffPredictor::new(Capacity::Unbounded, 8), tiny());
-        let q32 = run_profile(bench, &mut GDiffPredictor::new(Capacity::Unbounded, 32), tiny());
+        let q8 = run_profile(
+            bench,
+            &mut GDiffPredictor::new(Capacity::Unbounded, 8),
+            tiny(),
+        );
+        let q32 = run_profile(
+            bench,
+            &mut GDiffPredictor::new(Capacity::Unbounded, 32),
+            tiny(),
+        );
         assert!(
             q32.accuracy() >= q8.accuracy() - 0.02,
             "{bench}: q32 {:.3} vs q8 {:.3}",
@@ -56,9 +75,16 @@ fn queue_order_32_never_loses_to_8() {
 fn bounded_tables_track_unbounded_tables() {
     // The paper's 8K-entry table loses less than a point of accuracy.
     let bench = Benchmark::Gcc;
-    let unbounded = run_profile(bench, &mut GDiffPredictor::new(Capacity::Unbounded, 8), tiny());
-    let bounded =
-        run_profile(bench, &mut GDiffPredictor::new(Capacity::Entries(8192), 8), tiny());
+    let unbounded = run_profile(
+        bench,
+        &mut GDiffPredictor::new(Capacity::Unbounded, 8),
+        tiny(),
+    );
+    let bounded = run_profile(
+        bench,
+        &mut GDiffPredictor::new(Capacity::Entries(8192), 8),
+        tiny(),
+    );
     assert!(
         unbounded.accuracy() - bounded.accuracy() < 0.05,
         "8K table must be close: {:.3} vs {:.3}",
@@ -82,7 +108,11 @@ fn pipeline_vp_engines_run_on_all_benchmarks() {
                 2_000,
                 10_000,
             );
-            assert!(stats.ipc() > 0.1 && stats.ipc() < 4.0, "{bench}/{name}: {}", stats.ipc());
+            assert!(
+                stats.ipc() > 0.1 && stats.ipc() < 4.0,
+                "{bench}/{name}: {}",
+                stats.ipc()
+            );
         }
     }
 }
@@ -91,8 +121,11 @@ fn pipeline_vp_engines_run_on_all_benchmarks() {
 fn value_speculation_never_corrupts_retirement() {
     // With aggressive speculation and selective reissue, the retired
     // instruction count must exactly match the requested measurement.
-    let stats = Simulator::new(PipelineConfig::r10k(), Box::new(HgvqEngine::paper_default()))
-        .run(Benchmark::Mcf.build(5).take(120_000), 5_000, 30_000);
+    let stats = Simulator::new(
+        PipelineConfig::r10k(),
+        Box::new(HgvqEngine::paper_default()),
+    )
+    .run(Benchmark::Mcf.build(5).take(120_000), 5_000, 30_000);
     assert!((30_000..30_004).contains(&stats.retired));
     assert!(stats.vp.total() > 10_000);
 }
@@ -110,7 +143,11 @@ fn hgvq_exposes_both_local_and_global_locality() {
         let tb = p.dispatch(0x20); // hard def
         let tc = p.dispatch(0x30); // global: c = b + 8
         if i > 4 {
-            assert_eq!(ta.prediction.map(|g| g.value), Some(i * 4), "stride via filler");
+            assert_eq!(
+                ta.prediction.map(|g| g.value),
+                Some(i * 4),
+                "stride via filler"
+            );
         }
         p.writeback(0x10, &ta, i * 4);
         p.writeback(0x20, &tb, hard);
@@ -132,9 +169,24 @@ fn dfcm_sits_between_stride_and_gdiff_on_average() {
     let mut df_sum = 0.0;
     let mut gd_sum = 0.0;
     for bench in Benchmark::ALL {
-        st_sum += run_profile(bench, &mut StridePredictor::new(Capacity::Unbounded), tiny()).accuracy();
-        df_sum += run_profile(bench, &mut DfcmPredictor::new(Capacity::Unbounded, 4, 16), tiny()).accuracy();
-        gd_sum += run_profile(bench, &mut GDiffPredictor::new(Capacity::Unbounded, 32), tiny()).accuracy();
+        st_sum += run_profile(
+            bench,
+            &mut StridePredictor::new(Capacity::Unbounded),
+            tiny(),
+        )
+        .accuracy();
+        df_sum += run_profile(
+            bench,
+            &mut DfcmPredictor::new(Capacity::Unbounded, 4, 16),
+            tiny(),
+        )
+        .accuracy();
+        gd_sum += run_profile(
+            bench,
+            &mut GDiffPredictor::new(Capacity::Unbounded, 32),
+            tiny(),
+        )
+        .accuracy();
     }
     assert!(st_sum < df_sum, "stride {st_sum} < dfcm {df_sum}");
     assert!(df_sum < gd_sum, "dfcm {df_sum} < gdiff(q32) {gd_sum}");

@@ -24,9 +24,22 @@ fn profile_accuracy_is_monotone_in_delay() {
                 .accuracy()
             })
             .collect();
-        assert!(accs[0] >= accs[1] - 0.03, "{bench}: T0 {} vs T4 {}", accs[0], accs[1]);
-        assert!(accs[1] >= accs[2] - 0.03, "{bench}: T4 {} vs T16 {}", accs[1], accs[2]);
-        assert!(accs[0] > accs[2] + 0.05, "{bench}: delay must bite overall: {accs:?}");
+        assert!(
+            accs[0] >= accs[1] - 0.03,
+            "{bench}: T0 {} vs T4 {}",
+            accs[0],
+            accs[1]
+        );
+        assert!(
+            accs[1] >= accs[2] - 0.03,
+            "{bench}: T4 {} vs T16 {}",
+            accs[1],
+            accs[2]
+        );
+        assert!(
+            accs[0] > accs[2] + 0.05,
+            "{bench}: delay must bite overall: {accs:?}"
+        );
     }
 }
 

@@ -1,0 +1,282 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the small slice of `rand`'s API it actually uses:
+//!
+//! * [`rngs::SmallRng`] — implemented as xoshiro256++ (the same algorithm
+//!   family upstream `SmallRng` uses on 64-bit targets), seeded from a
+//!   `u64` through SplitMix64;
+//! * the [`Rng`] extension trait with `gen`, `gen_range` and `gen_bool`;
+//! * the [`SeedableRng`] constructor trait.
+//!
+//! Streams are deterministic for a given seed, high quality (xoshiro256++
+//! passes BigCrush), and unbiased (`gen_range` uses Lemire's widening
+//! multiply with rejection). They are *not* bit-identical to upstream
+//! `rand` — the workspace only relies on determinism and statistical
+//! quality, never on exact upstream streams.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types constructible from a random bit stream (upstream: the `Standard`
+/// distribution).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn draw(rng: &mut impl RngCore) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(rng: &mut impl RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types uniformly sampleable over a range.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[low, high)`; `high > low`.
+    fn sample_range(rng: &mut impl RngCore, low: Self, high: Self) -> Self;
+}
+
+/// Unbiased uniform draw from `[0, range)` via Lemire's method.
+fn lemire_u64(rng: &mut impl RngCore, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    // Accept when the low product half clears 2^64 mod range.
+    let zone = range.wrapping_neg() % range;
+    loop {
+        let wide = (rng.next_u64() as u128) * (range as u128);
+        if (wide as u64) >= zone {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! sample_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut impl RngCore, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                low + lemire_u64(rng, (high - low) as u64) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut impl RngCore, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                low.wrapping_add(lemire_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+sample_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl SampleRange<u64> for std::ops::RangeInclusive<u64> {
+    fn sample(self, rng: &mut impl RngCore) -> u64 {
+        let (low, high) = (*self.start(), *self.end());
+        if low == 0 && high == u64::MAX {
+            return rng.next_u64();
+        }
+        low + lemire_u64(rng, high - low + 1)
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of any [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Uniform draw from a range (`low..high`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p}");
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare against p scaled to the full 64-bit range.
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::SmallRng;
+
+    /// Upstream's `StdRng`; the same engine here.
+    pub type StdRng = SmallRng;
+}
+
+/// A small, fast, high-quality generator: xoshiro256++.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the xoshiro authors' recommended seeding.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = rng.gen_range(1u64..6);
+            assert!((1..6).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(
+            seen[1..6].iter().all(|&s| s),
+            "all values reached: {seen:?}"
+        );
+        for _ in 0..100 {
+            let v = rng.gen_range(0usize..3);
+            assert!(v < 3);
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.85)).count();
+        assert!((8_200..8_800).contains(&hits), "p=0.85 gave {hits}/10000");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn f64_draws_are_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn mean_of_u8_draws_is_centered() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let sum: u64 = (0..10_000).map(|_| rng.gen::<u8>() as u64).sum();
+        let mean = sum as f64 / 10_000.0;
+        assert!((120.0..135.0).contains(&mean), "mean {mean}");
+    }
+}
