@@ -1,0 +1,73 @@
+//! Text format vs binary container: encode/decode throughput and size on
+//! a ~100k-instruction trace.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::io::Cursor;
+use tracefile::{TraceReader, TraceWriter, DEFAULT_CHUNK_CAP};
+use workloads::trace::{read_trace, write_trace};
+use workloads::{Benchmark, DynInst};
+
+const INSTS: usize = 100_000;
+
+fn trace() -> Vec<DynInst> {
+    Benchmark::Gcc.build(42).take(INSTS).collect()
+}
+
+fn binary_encode(insts: &[DynInst]) -> Vec<u8> {
+    let mut w = TraceWriter::new(Vec::new(), DEFAULT_CHUNK_CAP).unwrap();
+    w.begin_stream("gcc").unwrap();
+    for i in insts {
+        w.push(i).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+fn text_encode(insts: &[DynInst]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_trace(&mut out, insts.iter().copied()).unwrap();
+    out
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let insts = trace();
+    let bin = binary_encode(&insts);
+    let txt = text_encode(&insts);
+    println!(
+        "tracefile: {} insts -> binary {} B ({:.2} B/inst), text {} B ({:.2} B/inst), {:.1}x smaller",
+        insts.len(),
+        bin.len(),
+        bin.len() as f64 / insts.len() as f64,
+        txt.len(),
+        txt.len() as f64 / insts.len() as f64,
+        txt.len() as f64 / bin.len() as f64,
+    );
+
+    let mut g = c.benchmark_group("trace_encode");
+    g.throughput(Throughput::Elements(INSTS as u64));
+    g.bench_function("binary", |b| b.iter(|| binary_encode(&insts).len()));
+    g.bench_function("text", |b| b.iter(|| text_encode(&insts).len()));
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let insts = trace();
+    let bin = binary_encode(&insts);
+    let txt = text_encode(&insts);
+
+    let mut g = c.benchmark_group("trace_decode");
+    g.throughput(Throughput::Elements(INSTS as u64));
+    g.bench_function("binary", |b| {
+        b.iter(|| {
+            // Structural validation + full chunk decode, the replay path.
+            let mut r = TraceReader::new(Cursor::new(&bin[..])).unwrap();
+            r.verify().unwrap().records
+        })
+    });
+    g.bench_function("text", |b| {
+        b.iter(|| read_trace(Cursor::new(&txt[..])).fold(0usize, |n, r| n + r.map(|_| 1).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

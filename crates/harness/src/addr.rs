@@ -17,8 +17,9 @@ use predictors::{
     Capacity, GatedPredictor, MarkovConfig, MarkovPredictor, PredictorStats, StridePredictor,
     ValuePredictor,
 };
-use workloads::{Benchmark, DynInst, OpClass};
+use workloads::{Benchmark, DynInst, OpClass, SyntheticSource, TraceSource};
 
+use crate::pipe::pipeline_trace_len;
 use crate::RunParams;
 
 #[derive(Debug, Clone, Copy)]
@@ -151,13 +152,20 @@ fn cov_acc(s: &PredictorStats) -> (f64, f64) {
 
 /// Regenerates Figure 18 (both panels) for all benchmarks.
 pub fn fig18(params: RunParams, markov: MarkovConfig) -> Vec<Fig18Row> {
+    fig18_on(&SyntheticSource::new(params.seed), params, markov)
+}
+
+/// [`fig18`] against an explicit instruction origin.
+pub fn fig18_on(
+    source: &dyn TraceSource,
+    params: RunParams,
+    markov: MarkovConfig,
+) -> Vec<Fig18Row> {
     Benchmark::ALL
         .into_iter()
         .map(|bench| {
             let mut obs = AddressPredictionObserver::with_markov(markov);
-            let trace = bench
-                .build(params.seed)
-                .take((params.warmup + params.measure + 50_000) as usize * 2);
+            let trace = source.stream(bench).take(pipeline_trace_len(params));
             let _ = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp)).run_with_observer(
                 trace,
                 params.warmup,

@@ -32,15 +32,21 @@
 pub mod addr;
 pub mod pipe;
 pub mod profile;
+pub mod record;
 pub mod report;
 
-pub use addr::{fig18, Fig18Row};
+pub use addr::{fig18, fig18_on, Fig18Row};
 pub use pipe::{
-    ablate_confidence, ablate_depth, ablate_filler, fig12, fig13, fig16, fig19, limit, prefetch,
-    table2, ConfidenceRow, DelayDistribution, DepthRow, FillerRow, LimitRow, PipelineVpRow,
-    PrefetchRow, SpeedupRow,
+    ablate_confidence, ablate_confidence_on, ablate_depth, ablate_depth_on, ablate_filler,
+    ablate_filler_on, fig12, fig12_on, fig13, fig13_on, fig16, fig16_on, fig19, fig19_on, limit,
+    limit_on, prefetch, prefetch_on, table2, table2_on, ConfidenceRow, DelayDistribution, DepthRow,
+    FillerRow, LimitRow, PipelineVpRow, PrefetchRow, SpeedupRow,
 };
-pub use profile::{ablate_queue, fig1, fig10, fig8, fig9, Fig10Row, Fig8Row, Fig9Row, QueueRow};
+pub use profile::{
+    ablate_queue, ablate_queue_on, fig1, fig10, fig10_on, fig1_on, fig8, fig8_on, fig9, fig9_on,
+    Fig10Row, Fig8Row, Fig9Row, QueueRow,
+};
+pub use record::{open_replay, record, RecordReport, ReplayError, ReplayPlan};
 
 /// Run-size parameters shared by all experiments.
 ///

@@ -7,17 +7,27 @@
 //! `--seed <n>` sets the workload seed (default 42),
 //! `--json <path|->` writes a machine-readable run report,
 //! `--trace-last <n>` records pipeline trace events and dumps the last n.
+//!
+//! Subcommands: `record --out <file> <experiment>...` captures the
+//! instruction streams the named experiments consume into a binary trace
+//! container; `replay <file>` re-runs those experiments from the capture
+//! (same numbers, no synthesis); `convert <in> <out>` translates between
+//! the text trace format and the binary container (direction sniffed from
+//! the input's magic bytes).
 
+use harness::record::{open_replay, record};
 use harness::report::{f2, pct, speedup_pct, RunReport, Table};
 use harness::{
-    ablate_confidence, ablate_depth, ablate_filler, ablate_queue, fig1, fig10, fig12, fig13, fig16,
-    fig18, fig19, fig8, fig9, limit, pipe::harmonic_mean, prefetch, profile::ablate_queue_orders,
-    profile::fig10_delays, profile::fig9_sizes, table2, Fig18Row, PipelineVpRow, RunParams,
+    ablate_confidence_on, ablate_depth_on, ablate_filler_on, ablate_queue_on, fig10_on, fig12_on,
+    fig13_on, fig16_on, fig18_on, fig19_on, fig1_on, fig8_on, fig9_on, limit_on,
+    pipe::harmonic_mean, prefetch_on, profile::ablate_queue_orders, profile::fig10_delays,
+    profile::fig9_sizes, table2_on, Fig18Row, PipelineVpRow, RunParams,
 };
 use obs::trace::tracer;
-use obs::JsonValue;
+use obs::{JsonValue, Registry};
 use predictors::MarkovConfig;
 use std::sync::atomic::{AtomicBool, Ordering};
+use workloads::{SyntheticSource, TraceSource};
 
 /// Set when the JSON report goes to stdout (`--json -`): the human-readable
 /// tables move to stderr so stdout stays parseable.
@@ -90,8 +100,73 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Resul
         .map_err(|_| format!("{flag}: invalid value '{v}'"))
 }
 
+/// The canonical experiment list (`all` expands to this).
+const ALL_EXPERIMENTS: [&str; 17] = [
+    "fig1",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig12",
+    "fig13",
+    "fig16",
+    "fig18a",
+    "fig18b",
+    "table2",
+    "fig19",
+    "ablate-queue",
+    "ablate-filler",
+    "ablate-confidence",
+    "ablate-depth",
+    "prefetch",
+    "limit",
+];
+
 fn main() {
-    let opts = match parse_args(std::env::args().skip(1).collect()) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => {
+            args.remove(0);
+            main_record(args)
+        }
+        Some("replay") => {
+            args.remove(0);
+            main_replay(args)
+        }
+        Some("convert") => {
+            args.remove(0);
+            main_convert(args)
+        }
+        _ => main_run(args),
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    print_usage();
+    std::process::exit(2);
+}
+
+/// Expands `all` and validates every experiment name up front so a typo
+/// late in the list doesn't discard an hour of completed experiments.
+fn select_experiments(named: &[String]) -> Vec<String> {
+    if named.is_empty() {
+        usage_error("no experiment named");
+    }
+    let selected: Vec<String> = if named.iter().any(|e| e == "all") {
+        ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        named.to_vec()
+    };
+    for exp in &selected {
+        if !ALL_EXPERIMENTS.contains(&exp.as_str()) {
+            usage_error(&format!("unknown experiment: {exp}"));
+        }
+    }
+    selected
+}
+
+fn main_run(args: Vec<String>) {
+    let opts = match parse_args(args) {
         Ok(o) => o,
         Err(msg) => {
             if msg.is_empty() {
@@ -99,92 +174,63 @@ fn main() {
                 print_usage();
                 return;
             }
-            eprintln!("error: {msg}");
-            print_usage();
-            std::process::exit(2);
+            usage_error(&msg);
         }
     };
     if opts.json.as_deref() == Some("-") {
         TABLES_TO_STDERR.store(true, Ordering::Relaxed);
     }
-    if opts.experiments.is_empty() {
-        eprintln!("error: no experiment named");
-        print_usage();
-        std::process::exit(2);
-    }
+    let selected = select_experiments(&opts.experiments);
     let mut profile = RunParams::profile_default().scaled(opts.scale);
     let mut pipelinep = RunParams::pipeline_default().scaled(opts.scale);
     profile.seed = opts.seed;
     pipelinep.seed = opts.seed;
+    let source = SyntheticSource::new(opts.seed);
+    execute(Execution {
+        source: &source,
+        selected: &selected,
+        profile,
+        pipeline: pipelinep,
+        seed: opts.seed,
+        scale: opts.scale,
+        json: opts.json,
+        trace_last: opts.trace_last,
+        sections: Vec::new(),
+    });
+}
 
-    let all = [
-        "fig1",
-        "fig8",
-        "fig9",
-        "fig10",
-        "fig12",
-        "fig13",
-        "fig16",
-        "fig18a",
-        "fig18b",
-        "table2",
-        "fig19",
-        "ablate-queue",
-        "ablate-filler",
-        "ablate-confidence",
-        "ablate-depth",
-        "prefetch",
-        "limit",
-    ];
-    let selected: Vec<String> = if opts.experiments.iter().any(|e| e == "all") {
-        all.iter().map(|s| s.to_string()).collect()
-    } else {
-        opts.experiments.clone()
-    };
-    // Validate everything up front so a typo late in the list doesn't
-    // discard an hour of completed experiments.
-    for exp in &selected {
-        if !all.contains(&exp.as_str()) {
-            eprintln!("error: unknown experiment: {exp}");
-            print_usage();
-            std::process::exit(2);
-        }
-    }
+/// One experiment sweep: the instruction origin, what to run, and how to
+/// report it. Shared by the direct (`main_run`) and `replay` paths so both
+/// produce byte-identical `experiments` report sections.
+struct Execution<'a> {
+    source: &'a dyn TraceSource,
+    selected: &'a [String],
+    profile: RunParams,
+    pipeline: RunParams,
+    seed: u64,
+    scale: f64,
+    json: Option<String>,
+    trace_last: Option<usize>,
+    /// Extra report sections (e.g. replay's tracefile metrics).
+    sections: Vec<(String, JsonValue)>,
+}
 
-    if let Some(n) = opts.trace_last {
+fn execute(x: Execution<'_>) {
+    if let Some(n) = x.trace_last {
         tracer().enable(n.max(1));
     }
 
-    let mut report = RunReport::new(opts.seed, opts.scale);
-    for exp in &selected {
+    let mut report = RunReport::new(x.seed, x.scale);
+    for exp in x.selected {
         let span = obs::span::span(format!("experiment.{exp}"));
         let t0 = std::time::Instant::now();
-        let data = match exp.as_str() {
-            "fig1" => run_fig1(profile),
-            "fig8" => run_fig8(profile),
-            "fig9" => run_fig9(profile),
-            "fig10" => run_fig10(profile),
-            "fig12" => run_fig12(pipelinep),
-            "fig13" => run_fig13(pipelinep),
-            "fig16" => run_fig16(pipelinep),
-            "fig18a" => run_fig18(pipelinep, false),
-            "fig18b" => run_fig18(pipelinep, true),
-            "table2" => run_table2(pipelinep),
-            "fig19" => run_fig19(pipelinep),
-            "ablate-queue" => run_ablate_queue(profile),
-            "ablate-filler" => run_ablate_filler(pipelinep),
-            "ablate-confidence" => run_ablate_confidence(pipelinep),
-            "ablate-depth" => run_ablate_depth(pipelinep),
-            "prefetch" => run_prefetch(pipelinep),
-            "limit" => run_limit(pipelinep),
-            _ => unreachable!("validated above"),
-        };
+        let data = run_experiment(exp, x.source, x.profile, x.pipeline);
         report.add_experiment(exp, data);
         drop(span);
         eprintln!("[{exp} took {:.1}s]\n", t0.elapsed().as_secs_f64());
     }
 
-    if let Some(n) = opts.trace_last {
+    if let Some(n) = x.trace_last {
         tracer().disable();
         let events = tracer().last(n);
         eprintln!(
@@ -203,8 +249,11 @@ fn main() {
             );
         report.add_section("trace", section);
     }
+    for (name, section) in x.sections {
+        report.add_section(&name, section);
+    }
 
-    if let Some(dest) = &opts.json {
+    if let Some(dest) = &x.json {
         let text = report.finish().to_json_pretty();
         if dest == "-" {
             println!("{text}");
@@ -215,14 +264,237 @@ fn main() {
     }
 }
 
+fn run_experiment(
+    exp: &str,
+    source: &dyn TraceSource,
+    profile: RunParams,
+    pipelinep: RunParams,
+) -> JsonValue {
+    match exp {
+        "fig1" => run_fig1(source, profile),
+        "fig8" => run_fig8(source, profile),
+        "fig9" => run_fig9(source, profile),
+        "fig10" => run_fig10(source, profile),
+        "fig12" => run_fig12(source, pipelinep),
+        "fig13" => run_fig13(source, pipelinep),
+        "fig16" => run_fig16(source, pipelinep),
+        "fig18a" => run_fig18(source, pipelinep, false),
+        "fig18b" => run_fig18(source, pipelinep, true),
+        "table2" => run_table2(source, pipelinep),
+        "fig19" => run_fig19(source, pipelinep),
+        "ablate-queue" => run_ablate_queue(source, profile),
+        "ablate-filler" => run_ablate_filler(source, pipelinep),
+        "ablate-confidence" => run_ablate_confidence(source, pipelinep),
+        "ablate-depth" => run_ablate_depth(source, pipelinep),
+        "prefetch" => run_prefetch(source, pipelinep),
+        "limit" => run_limit(source, pipelinep),
+        _ => unreachable!("validated by select_experiments"),
+    }
+}
+
+fn main_record(args: Vec<String>) {
+    let mut out: Option<String> = None;
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
+    let mut experiments = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out = Some(match it.next() {
+                    Some(v) => v,
+                    None => usage_error("--out needs a value (a file path)"),
+                })
+            }
+            "--scale" => match parse_value(&a, it.next()) {
+                Ok(v) => scale = v,
+                Err(m) => usage_error(&m),
+            },
+            "--seed" => match parse_value(&a, it.next()) {
+                Ok(v) => seed = v,
+                Err(m) => usage_error(&m),
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other if other.starts_with("--") => {
+                usage_error(&format!("unknown record option: {other}"))
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    let Some(out) = out else {
+        usage_error("record needs --out FILE");
+    };
+    let selected = select_experiments(&experiments);
+    let mut profile = RunParams::profile_default().scaled(scale);
+    let mut pipelinep = RunParams::pipeline_default().scaled(scale);
+    profile.seed = seed;
+    pipelinep.seed = seed;
+
+    let mut registry = Registry::new();
+    let rep = match record(&out, &selected, profile, pipelinep, scale, &mut registry) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot record {out}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut t = Table::new(
+        format!("Recorded {out} (seed {seed}, scale {scale})"),
+        &["benchmark", "instructions"],
+    );
+    for (bench, n) in &rep.per_bench {
+        t.row(vec![bench.to_string(), n.to_string()]);
+    }
+    t.row(vec!["total".into(), rep.records.to_string()]);
+    out!("{}", t.render());
+    outln!(
+        "container: {} bytes ({:.2} bytes/inst, {:.1}x smaller than text)",
+        rep.binary_bytes,
+        rep.bytes_per_inst(),
+        rep.compression_vs_text()
+    );
+    outln!(
+        "encode: {:.0} inst/s, {:.1} MiB/s",
+        rep.insts_per_sec,
+        rep.mib_per_sec
+    );
+}
+
+fn main_replay(args: Vec<String>) {
+    let mut file: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut trace_last: Option<usize> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                json = Some(match it.next() {
+                    Some(v) => v,
+                    None => usage_error("--json needs a value (a path or -)"),
+                })
+            }
+            "--trace-last" => match parse_value(&a, it.next()) {
+                Ok(v) => trace_last = Some(v),
+                Err(m) => usage_error(&m),
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other if other.starts_with("--") => {
+                usage_error(&format!("unknown replay option: {other}"))
+            }
+            other if file.is_none() => file = Some(other.to_string()),
+            other => usage_error(&format!("unexpected argument: {other}")),
+        }
+    }
+    let Some(file) = file else {
+        usage_error("replay needs a trace file");
+    };
+    if json.as_deref() == Some("-") {
+        TABLES_TO_STDERR.store(true, Ordering::Relaxed);
+    }
+
+    let mut registry = Registry::new();
+    let plan = match open_replay(&file, &mut registry) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot replay {file}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "replaying {} (seed {}, scale {}): {}",
+        plan.source.describe(),
+        plan.seed,
+        plan.scale,
+        plan.experiments.join(" ")
+    );
+    execute(Execution {
+        source: &plan.source,
+        selected: &plan.experiments,
+        profile: plan.profile,
+        pipeline: plan.pipeline,
+        seed: plan.seed,
+        scale: plan.scale,
+        json,
+        trace_last,
+        sections: vec![("tracefile".to_string(), registry.to_json())],
+    });
+}
+
+fn main_convert(args: Vec<String>) {
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    if positional.len() != 2 || args.len() != 2 {
+        usage_error("convert takes exactly: convert IN OUT");
+    }
+    let (input, output) = (positional[0].clone(), positional[1].clone());
+    match convert_any(&input, &output) {
+        Ok(stats) => outln!(
+            "converted {} instructions: {} text bytes <-> {} binary bytes",
+            stats.records,
+            stats.text_bytes,
+            stats.binary_bytes
+        ),
+        Err(e) => {
+            eprintln!("error: cannot convert {input}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Converts in whichever direction the input's magic bytes call for.
+fn convert_any(
+    input: &str,
+    output: &str,
+) -> Result<tracefile::ConvertStats, Box<dyn std::error::Error>> {
+    use std::io::{BufReader, BufWriter, Read};
+    let mut head = [0u8; 8];
+    let n = std::fs::File::open(input)?.read(&mut head)?;
+    if n == 8 && head == tracefile::container::MAGIC {
+        let mut r = tracefile::TraceReader::open(input)?;
+        let mut w = BufWriter::new(std::fs::File::create(output)?);
+        let stats = tracefile::binary_to_text(&mut r, &mut w)?;
+        std::io::Write::flush(&mut w)?;
+        Ok(stats)
+    } else {
+        let r = BufReader::new(std::fs::File::open(input)?);
+        let mut w = tracefile::TraceWriter::create(output, tracefile::DEFAULT_CHUNK_CAP)?;
+        let name = std::path::Path::new(input)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("trace")
+            .to_string();
+        let mut stats = tracefile::text_to_binary(r, &mut w, &name)?;
+        w.finish()?;
+        stats.binary_bytes = std::fs::metadata(output)?.len();
+        Ok(stats)
+    }
+}
+
 fn print_usage() {
     eprintln!(
         "usage: harness [--scale F] [--seed N] [--json PATH|-] [--trace-last N] <experiment>...\n\
+         \x20      harness record --out FILE [--scale F] [--seed N] <experiment>...\n\
+         \x20      harness replay FILE [--json PATH|-] [--trace-last N]\n\
+         \x20      harness convert IN OUT\n\
          experiments: fig1 fig8 fig9 fig10 fig12 fig13 fig16 fig18a fig18b\n\
          table2 fig19 ablate-queue ablate-filler ablate-confidence\n\
          ablate-depth prefetch limit all\n\
          --json writes a machine-readable run report (- for stdout)\n\
-         --trace-last records pipeline events and dumps the final N"
+         --trace-last records pipeline events and dumps the final N\n\
+         record captures the instruction streams the named experiments\n\
+         consume into a chunked, CRC-checked binary container; replay\n\
+         re-runs them from the capture with identical results; convert\n\
+         translates text traces to the container and back (direction\n\
+         sniffed from the input's magic bytes)"
     );
 }
 
@@ -231,8 +503,8 @@ fn avg(xs: impl IntoIterator<Item = f64>) -> f64 {
     v.iter().sum::<f64>() / v.len() as f64
 }
 
-fn run_fig1(p: RunParams) -> JsonValue {
-    let f = fig1(p);
+fn run_fig1(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let f = fig1_on(source, p);
     outln!("== Figure 1: hard-to-predict value sequence (parser spill/fill reload) ==");
     outln!("first 40 values (paper plots the last three digits):");
     for chunk in f.sequence.iter().take(40).collect::<Vec<_>>().chunks(10) {
@@ -267,8 +539,8 @@ fn run_fig1(p: RunParams) -> JsonValue {
         .with("gdiff_accuracy", f.gdiff_accuracy)
 }
 
-fn run_fig8(p: RunParams) -> JsonValue {
-    let rows = fig8(p);
+fn run_fig8(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let rows = fig8_on(source, p);
     let mut t = Table::new(
         "Figure 8: profile value-prediction accuracy (all value producers, unlimited tables)",
         &["bench", "stride", "DFCM", "gdiff(q=8)", "gdiff(q=32)"],
@@ -306,8 +578,8 @@ fn rows_json<T>(rows: &[T], f: impl Fn(&T) -> JsonValue) -> JsonValue {
     JsonValue::object().with("rows", JsonValue::Arr(rows.iter().map(f).collect()))
 }
 
-fn run_fig9(p: RunParams) -> JsonValue {
-    let rows = fig9(p);
+fn run_fig9(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let rows = fig9_on(source, p);
     let sizes = fig9_sizes();
     let mut headers: Vec<String> = vec!["bench".into()];
     headers.extend(sizes.iter().map(|s| match s {
@@ -339,8 +611,8 @@ fn run_fig9(p: RunParams) -> JsonValue {
     })
 }
 
-fn run_fig10(p: RunParams) -> JsonValue {
-    let rows = fig10(p);
+fn run_fig10(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let rows = fig10_on(source, p);
     let delays = fig10_delays();
     let mut headers: Vec<String> = vec!["bench".into()];
     headers.extend(delays.iter().map(|d| format!("T={d}")));
@@ -372,8 +644,8 @@ fn run_fig10(p: RunParams) -> JsonValue {
     )
 }
 
-fn run_fig12(p: RunParams) -> JsonValue {
-    let d = fig12(p);
+fn run_fig12(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let d = fig12_on(source, p);
     outln!("== Figure 12: value-delay distribution ({}) ==", d.bench);
     for (i, f) in d.fractions.iter().enumerate() {
         outln!(
@@ -450,8 +722,8 @@ fn vp_table(title: &str, rows: &[PipelineVpRow], with_context: bool) -> JsonValu
     })
 }
 
-fn run_fig13(p: RunParams) -> JsonValue {
-    let rows = fig13(p);
+fn run_fig13(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let rows = fig13_on(source, p);
     let j = vp_table(
         "Figure 13: gdiff with SGVQ (q=32) vs local stride, in-pipeline, 3-bit confidence",
         &rows,
@@ -461,8 +733,8 @@ fn run_fig13(p: RunParams) -> JsonValue {
     j
 }
 
-fn run_fig16(p: RunParams) -> JsonValue {
-    let rows = fig16(p);
+fn run_fig16(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let rows = fig16_on(source, p);
     let j = vp_table(
         "Figure 16: gdiff with HGVQ (q=32) vs local stride vs local context",
         &rows,
@@ -472,8 +744,8 @@ fn run_fig16(p: RunParams) -> JsonValue {
     j
 }
 
-fn run_fig18(p: RunParams, missing: bool) -> JsonValue {
-    let rows = fig18(p, MarkovConfig::paper_256k());
+fn run_fig18(source: &dyn TraceSource, p: RunParams, missing: bool) -> JsonValue {
+    let rows = fig18_on(source, p, MarkovConfig::paper_256k());
     let (title, note) = if missing {
         (
             "Figure 18b: predictability of MISSING load addresses",
@@ -544,8 +816,8 @@ fn run_fig18(p: RunParams, missing: bool) -> JsonValue {
     })
 }
 
-fn run_table2(p: RunParams) -> JsonValue {
-    let rows = table2(p);
+fn run_table2(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let rows = table2_on(source, p);
     let mut t = Table::new(
         "Table 2: baseline IPC (4-way, 64-entry window, no value speculation)",
         &["bench", "IPC"],
@@ -561,8 +833,8 @@ fn run_table2(p: RunParams) -> JsonValue {
     })
 }
 
-fn run_fig19(p: RunParams) -> JsonValue {
-    let rows = fig19(p);
+fn run_fig19(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let rows = fig19_on(source, p);
     let mut t = Table::new(
         "Figure 19: speedup of value speculation over the no-VP baseline",
         &[
@@ -606,8 +878,8 @@ fn run_fig19(p: RunParams) -> JsonValue {
     )
 }
 
-fn run_ablate_queue(p: RunParams) -> JsonValue {
-    let rows = ablate_queue(p);
+fn run_ablate_queue(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let rows = ablate_queue_on(source, p);
     let orders = ablate_queue_orders();
     let mut headers: Vec<String> = vec!["bench".into()];
     headers.extend(orders.iter().map(|o| format!("q={o}")));
@@ -630,8 +902,8 @@ fn run_ablate_queue(p: RunParams) -> JsonValue {
     )
 }
 
-fn run_ablate_filler(p: RunParams) -> JsonValue {
-    let rows = ablate_filler(p);
+fn run_ablate_filler(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let rows = ablate_filler_on(source, p);
     let mut t = Table::new(
         "Ablation: HGVQ filler choice (accuracy / coverage)",
         &[
@@ -661,8 +933,8 @@ fn run_ablate_filler(p: RunParams) -> JsonValue {
     })
 }
 
-fn run_prefetch(p: RunParams) -> JsonValue {
-    let rows = prefetch(p);
+fn run_prefetch(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let rows = prefetch_on(source, p);
     let mut t = Table::new(
         "Extension: address-prediction-driven prefetching (IPC speedup over no-prefetch)",
         &[
@@ -711,8 +983,8 @@ fn run_prefetch(p: RunParams) -> JsonValue {
     })
 }
 
-fn run_limit(p: RunParams) -> JsonValue {
-    let rows = limit(p);
+fn run_limit(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let rows = limit_on(source, p);
     let mut t = Table::new(
         "Limit study: gdiff vs perfect value prediction (oracle)",
         &[
@@ -754,8 +1026,8 @@ fn run_limit(p: RunParams) -> JsonValue {
     })
 }
 
-fn run_ablate_depth(p: RunParams) -> JsonValue {
-    let rows = ablate_depth(p);
+fn run_ablate_depth(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let rows = ablate_depth_on(source, p);
     let mut t = Table::new(
         "Ablation: front-end depth (deeper pipelines, §8 future work)",
         &[
@@ -788,8 +1060,8 @@ fn run_ablate_depth(p: RunParams) -> JsonValue {
     })
 }
 
-fn run_ablate_confidence(p: RunParams) -> JsonValue {
-    let rows = ablate_confidence(p);
+fn run_ablate_confidence(source: &dyn TraceSource, p: RunParams) -> JsonValue {
+    let rows = ablate_confidence_on(source, p);
     let mut t = Table::new(
         "Ablation: confidence threshold on the HGVQ engine (means over benchmarks)",
         &["threshold", "accuracy", "coverage", "H-mean speedup"],

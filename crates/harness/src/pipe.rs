@@ -7,13 +7,31 @@ use pipeline::{
     PipelineConfig, Prefetcher, SgvqEngine, SimStats, Simulator, StridePrefetcher, VpEngine,
 };
 use predictors::{Capacity, ConfidenceConfig, LastValuePredictor, StridePredictor};
-use workloads::Benchmark;
+use workloads::{Benchmark, SyntheticSource, TraceSource};
 
 use crate::RunParams;
+
+/// The raw-instruction prefix a pipeline experiment consumes: warmup +
+/// measure + settle margin, doubled so the window never drains early.
+/// Recording tools use this to size captured traces.
+pub fn pipeline_trace_len(params: RunParams) -> usize {
+    (params.warmup + params.measure + 50_000) as usize * 2
+}
 
 /// Runs one benchmark through the Table 1 pipeline with `engine`.
 pub fn run_pipeline(bench: Benchmark, engine: Box<dyn VpEngine>, params: RunParams) -> SimStats {
     run_pipeline_configured(bench, engine, None, PipelineConfig::r10k(), params)
+}
+
+/// [`run_pipeline`] with an explicit instruction origin: the synthetic
+/// models or a recorded trace file.
+pub fn run_pipeline_on(
+    source: &dyn TraceSource,
+    bench: Benchmark,
+    engine: Box<dyn VpEngine>,
+    params: RunParams,
+) -> SimStats {
+    run_pipeline_configured_on(source, bench, engine, None, PipelineConfig::r10k(), params)
 }
 
 /// Full-control pipeline run: custom machine configuration and optional
@@ -25,10 +43,27 @@ pub fn run_pipeline_configured(
     config: PipelineConfig,
     params: RunParams,
 ) -> SimStats {
+    run_pipeline_configured_on(
+        &SyntheticSource::new(params.seed),
+        bench,
+        engine,
+        prefetcher,
+        config,
+        params,
+    )
+}
+
+/// [`run_pipeline_configured`] with an explicit instruction origin.
+pub fn run_pipeline_configured_on(
+    source: &dyn TraceSource,
+    bench: Benchmark,
+    engine: Box<dyn VpEngine>,
+    prefetcher: Option<Box<dyn Prefetcher>>,
+    config: PipelineConfig,
+    params: RunParams,
+) -> SimStats {
     let _span = obs::span::span("pipeline.run");
-    let trace = bench
-        .build(params.seed)
-        .take((params.warmup + params.measure + 50_000) as usize * 2);
+    let trace = source.stream(bench).take(pipeline_trace_len(params));
     let mut sim = Simulator::new(config, engine);
     if let Some(p) = prefetcher {
         sim = sim.with_prefetcher(p);
@@ -68,8 +103,13 @@ impl DelayDistribution {
 /// Regenerates Figure 12: the distribution of value delays (values
 /// produced between dispatch and write-back) in the OOO pipeline.
 pub fn fig12(params: RunParams) -> DelayDistribution {
+    fig12_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`fig12`] against an explicit instruction origin.
+pub fn fig12_on(source: &dyn TraceSource, params: RunParams) -> DelayDistribution {
     let bench = Benchmark::Vortex;
-    let stats = run_pipeline(bench, Box::new(NoVp), params);
+    let stats = run_pipeline_on(source, bench, Box::new(NoVp), params);
     DelayDistribution {
         bench,
         fractions: (0..=20).map(|d| stats.delays.fraction(d)).collect(),
@@ -102,6 +142,7 @@ pub struct PipelineVpRow {
 }
 
 fn vp_comparison(
+    source: &dyn TraceSource,
     params: RunParams,
     gdiff: fn() -> Box<dyn VpEngine>,
     with_context: bool,
@@ -109,10 +150,10 @@ fn vp_comparison(
     Benchmark::ALL
         .into_iter()
         .map(|bench| {
-            let g = run_pipeline(bench, gdiff(), params);
-            let s = run_pipeline(bench, Box::new(LocalEngine::stride_8k()), params);
+            let g = run_pipeline_on(source, bench, gdiff(), params);
+            let s = run_pipeline_on(source, bench, Box::new(LocalEngine::stride_8k()), params);
             let (ca, cc) = if with_context {
-                let c = run_pipeline(bench, Box::new(LocalEngine::dfcm_8k()), params);
+                let c = run_pipeline_on(source, bench, Box::new(LocalEngine::dfcm_8k()), params);
                 (c.vp.gated_accuracy(), c.vp.coverage())
             } else {
                 (0.0, 0.0)
@@ -133,13 +174,33 @@ fn vp_comparison(
 /// Regenerates Figure 13: gDiff with the *speculative* GVQ (order 32)
 /// vs the local stride predictor, in the pipeline, 3-bit confidence.
 pub fn fig13(params: RunParams) -> Vec<PipelineVpRow> {
-    vp_comparison(params, || Box::new(SgvqEngine::paper_default()), false)
+    fig13_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`fig13`] against an explicit instruction origin.
+pub fn fig13_on(source: &dyn TraceSource, params: RunParams) -> Vec<PipelineVpRow> {
+    vp_comparison(
+        source,
+        params,
+        || Box::new(SgvqEngine::paper_default()),
+        false,
+    )
 }
 
 /// Regenerates Figure 16: gDiff with the *hybrid* GVQ (order 32) vs local
 /// stride vs local context.
 pub fn fig16(params: RunParams) -> Vec<PipelineVpRow> {
-    vp_comparison(params, || Box::new(HgvqEngine::paper_default()), true)
+    fig16_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`fig16`] against an explicit instruction origin.
+pub fn fig16_on(source: &dyn TraceSource, params: RunParams) -> Vec<PipelineVpRow> {
+    vp_comparison(
+        source,
+        params,
+        || Box::new(HgvqEngine::paper_default()),
+        true,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -148,9 +209,14 @@ pub fn fig16(params: RunParams) -> Vec<PipelineVpRow> {
 
 /// Baseline IPC (no value speculation) — Table 2.
 pub fn table2(params: RunParams) -> Vec<(Benchmark, f64)> {
+    table2_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`table2`] against an explicit instruction origin.
+pub fn table2_on(source: &dyn TraceSource, params: RunParams) -> Vec<(Benchmark, f64)> {
     Benchmark::ALL
         .into_iter()
-        .map(|b| (b, run_pipeline(b, Box::new(NoVp), params).ipc()))
+        .map(|b| (b, run_pipeline_on(source, b, Box::new(NoVp), params).ipc()))
         .collect()
 }
 
@@ -171,13 +237,20 @@ pub struct SpeedupRow {
 
 /// Regenerates Figure 19: per-benchmark speedups and their harmonic mean.
 pub fn fig19(params: RunParams) -> Vec<SpeedupRow> {
+    fig19_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`fig19`] against an explicit instruction origin.
+pub fn fig19_on(source: &dyn TraceSource, params: RunParams) -> Vec<SpeedupRow> {
     Benchmark::ALL
         .into_iter()
         .map(|bench| {
-            let base = run_pipeline(bench, Box::new(NoVp), params).ipc();
-            let st = run_pipeline(bench, Box::new(LocalEngine::stride_8k()), params).ipc();
-            let cx = run_pipeline(bench, Box::new(LocalEngine::dfcm_8k()), params).ipc();
-            let gd = run_pipeline(bench, Box::new(HgvqEngine::paper_default()), params).ipc();
+            let base = run_pipeline_on(source, bench, Box::new(NoVp), params).ipc();
+            let st =
+                run_pipeline_on(source, bench, Box::new(LocalEngine::stride_8k()), params).ipc();
+            let cx = run_pipeline_on(source, bench, Box::new(LocalEngine::dfcm_8k()), params).ipc();
+            let gd =
+                run_pipeline_on(source, bench, Box::new(HgvqEngine::paper_default()), params).ipc();
             SpeedupRow {
                 bench,
                 baseline_ipc: base,
@@ -215,18 +288,30 @@ pub struct FillerRow {
 /// Ablates the HGVQ filler: paper's stride filler vs a last-value filler
 /// vs none (which degenerates to the SGVQ design).
 pub fn ablate_filler(params: RunParams) -> Vec<FillerRow> {
+    ablate_filler_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`ablate_filler`] against an explicit instruction origin.
+pub fn ablate_filler_on(source: &dyn TraceSource, params: RunParams) -> Vec<FillerRow> {
     Benchmark::ALL
         .into_iter()
         .map(|bench| {
-            let stride = run_pipeline(bench, Box::new(HgvqEngine::paper_default()), params);
+            let stride =
+                run_pipeline_on(source, bench, Box::new(HgvqEngine::paper_default()), params);
             let lv: HgvqPredictor<LastValuePredictor> = HgvqPredictor::new(
                 Capacity::Entries(8192),
                 32,
                 Capacity::Entries(8192),
                 LastValuePredictor::new(Capacity::Entries(8192)),
             );
-            let lv = run_pipeline(bench, Box::new(HgvqEngine::from_predictor(lv)), params);
-            let none = run_pipeline(bench, Box::new(SgvqEngine::paper_default()), params);
+            let lv = run_pipeline_on(
+                source,
+                bench,
+                Box::new(HgvqEngine::from_predictor(lv)),
+                params,
+            );
+            let none =
+                run_pipeline_on(source, bench, Box::new(SgvqEngine::paper_default()), params);
             FillerRow {
                 bench,
                 stride_filler: (stride.vp.gated_accuracy(), stride.vp.coverage()),
@@ -254,6 +339,11 @@ pub struct ConfidenceRow {
 /// Ablates the 3-bit confidence mechanism on the HGVQ engine: thresholds
 /// 0 (off), 2, 4 (paper), 6.
 pub fn ablate_confidence(params: RunParams) -> Vec<ConfidenceRow> {
+    ablate_confidence_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`ablate_confidence`] against an explicit instruction origin.
+pub fn ablate_confidence_on(source: &dyn TraceSource, params: RunParams) -> Vec<ConfidenceRow> {
     [0u8, 2, 4, 6]
         .into_iter()
         .map(|threshold| {
@@ -261,7 +351,7 @@ pub fn ablate_confidence(params: RunParams) -> Vec<ConfidenceRow> {
             let mut covs = Vec::new();
             let mut ratios = Vec::new();
             for bench in Benchmark::ALL {
-                let base = run_pipeline(bench, Box::new(NoVp), params).ipc();
+                let base = run_pipeline_on(source, bench, Box::new(NoVp), params).ipc();
                 let config = ConfidenceConfig {
                     threshold,
                     ..ConfidenceConfig::default()
@@ -273,7 +363,12 @@ pub fn ablate_confidence(params: RunParams) -> Vec<ConfidenceRow> {
                     config,
                     StridePredictor::new(Capacity::Entries(8192)),
                 );
-                let s = run_pipeline(bench, Box::new(HgvqEngine::from_predictor(p)), params);
+                let s = run_pipeline_on(
+                    source,
+                    bench,
+                    Box::new(HgvqEngine::from_predictor(p)),
+                    params,
+                );
                 accs.push(s.vp.gated_accuracy());
                 covs.push(s.vp.coverage());
                 ratios.push(s.ipc() / base);
@@ -318,26 +413,34 @@ pub struct PrefetchRow {
 /// a later demand miss that finds the fill in flight pays only the
 /// remaining latency.
 pub fn prefetch(params: RunParams) -> Vec<PrefetchRow> {
+    prefetch_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`prefetch`] against an explicit instruction origin.
+pub fn prefetch_on(source: &dyn TraceSource, params: RunParams) -> Vec<PrefetchRow> {
     Benchmark::ALL
         .into_iter()
         .map(|bench| {
             let cfg = PipelineConfig::r10k();
-            let base = run_pipeline_configured(bench, Box::new(NoVp), None, cfg, params);
-            let nl = run_pipeline_configured(
+            let base = run_pipeline_configured_on(source, bench, Box::new(NoVp), None, cfg, params);
+            let nl = run_pipeline_configured_on(
+                source,
                 bench,
                 Box::new(NoVp),
                 Some(Box::new(NextLinePrefetcher::new(cfg.dcache.line_bytes))),
                 cfg,
                 params,
             );
-            let st = run_pipeline_configured(
+            let st = run_pipeline_configured_on(
+                source,
                 bench,
                 Box::new(NoVp),
                 Some(Box::new(StridePrefetcher::new())),
                 cfg,
                 params,
             );
-            let gd = run_pipeline_configured(
+            let gd = run_pipeline_configured_on(
+                source,
                 bench,
                 Box::new(NoVp),
                 Some(Box::new(GDiffPrefetcher::new())),
@@ -377,12 +480,18 @@ pub struct LimitRow {
 /// How much of the perfect-value-prediction headroom gDiff captures
 /// (the Sazeides \[24\] style limit study the paper's §7 leans on).
 pub fn limit(params: RunParams) -> Vec<LimitRow> {
+    limit_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`limit`] against an explicit instruction origin.
+pub fn limit_on(source: &dyn TraceSource, params: RunParams) -> Vec<LimitRow> {
     Benchmark::ALL
         .into_iter()
         .map(|bench| {
-            let base = run_pipeline(bench, Box::new(NoVp), params).ipc();
-            let gd = run_pipeline(bench, Box::new(HgvqEngine::paper_default()), params).ipc();
-            let oracle = run_pipeline(bench, Box::new(OracleEngine), params).ipc();
+            let base = run_pipeline_on(source, bench, Box::new(NoVp), params).ipc();
+            let gd =
+                run_pipeline_on(source, bench, Box::new(HgvqEngine::paper_default()), params).ipc();
+            let oracle = run_pipeline_on(source, bench, Box::new(OracleEngine), params).ipc();
             LimitRow {
                 bench,
                 base_ipc: base,
@@ -413,6 +522,11 @@ pub struct DepthRow {
 /// predictors' speedups as the fetch→dispatch depth and redirect penalty
 /// grow.
 pub fn ablate_depth(params: RunParams) -> Vec<DepthRow> {
+    ablate_depth_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`ablate_depth`] against an explicit instruction origin.
+pub fn ablate_depth_on(source: &dyn TraceSource, params: RunParams) -> Vec<DepthRow> {
     [(2u64, 3u64), (4, 6), (8, 10), (12, 16)]
         .into_iter()
         .map(|(depth, redirect)| {
@@ -425,15 +539,18 @@ pub fn ablate_depth(params: RunParams) -> Vec<DepthRow> {
             let mut st_ratios = Vec::new();
             let mut delay = 0.0;
             for bench in Benchmark::ALL {
-                let base = run_pipeline_configured(bench, Box::new(NoVp), None, config, params);
-                let gd = run_pipeline_configured(
+                let base =
+                    run_pipeline_configured_on(source, bench, Box::new(NoVp), None, config, params);
+                let gd = run_pipeline_configured_on(
+                    source,
                     bench,
                     Box::new(HgvqEngine::paper_default()),
                     None,
                     config,
                     params,
                 );
-                let st = run_pipeline_configured(
+                let st = run_pipeline_configured_on(
+                    source,
                     bench,
                     Box::new(LocalEngine::stride_8k()),
                     None,

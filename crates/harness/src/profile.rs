@@ -8,7 +8,7 @@
 
 use gdiff::GDiffPredictor;
 use predictors::{Capacity, DfcmPredictor, PredictorStats, StridePredictor, ValuePredictor};
-use workloads::{Benchmark, DynInst};
+use workloads::{Benchmark, DynInst, SyntheticSource, TraceSource};
 
 use crate::RunParams;
 
@@ -19,9 +19,20 @@ pub fn run_profile<P: ValuePredictor>(
     predictor: &mut P,
     params: RunParams,
 ) -> PredictorStats {
+    run_profile_on(&SyntheticSource::new(params.seed), bench, predictor, params)
+}
+
+/// [`run_profile`] with an explicit instruction origin: the synthetic
+/// models or a recorded trace file.
+pub fn run_profile_on<P: ValuePredictor>(
+    source: &dyn TraceSource,
+    bench: Benchmark,
+    predictor: &mut P,
+    params: RunParams,
+) -> PredictorStats {
     let _span = obs::span::span("profile.run");
     let mut stats = PredictorStats::new();
-    for (n, inst) in value_stream(bench, params).enumerate() {
+    for (n, inst) in value_stream_on(source, bench, params).enumerate() {
         let predicted = predictor.predict(inst.pc);
         if (n as u64) >= params.warmup {
             stats.record(predicted, false, inst.value);
@@ -31,11 +42,22 @@ pub fn run_profile<P: ValuePredictor>(
     stats
 }
 
-fn value_stream(bench: Benchmark, params: RunParams) -> impl Iterator<Item = DynInst> {
-    bench
-        .build(params.seed)
+/// Value producers a profile-mode experiment consumes: the number of
+/// instructions [`value_stream_on`] takes after filtering. Recording
+/// tools use this to size captured traces.
+pub fn profile_producers(params: RunParams) -> usize {
+    (params.warmup + params.measure) as usize
+}
+
+fn value_stream_on<'a>(
+    source: &'a dyn TraceSource,
+    bench: Benchmark,
+    params: RunParams,
+) -> impl Iterator<Item = DynInst> + 'a {
+    source
+        .stream(bench)
         .filter(|i| i.produces_value())
-        .take((params.warmup + params.measure) as usize)
+        .take(profile_producers(params))
 }
 
 // ---------------------------------------------------------------------
@@ -62,6 +84,11 @@ pub struct Fig1 {
 
 /// Regenerates Figure 1 from the parser model.
 pub fn fig1(params: RunParams) -> Fig1 {
+    fig1_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`fig1`] against an explicit instruction origin.
+pub fn fig1_on(source: &dyn TraceSource, params: RunParams) -> Fig1 {
     let _span = obs::span::span("profile.run");
     // The reload of the parser model's first correlation kernel.
     let probe = workloads::kernels::CorrelationKernel::new(
@@ -78,7 +105,7 @@ pub fn fig1(params: RunParams) -> Fig1 {
     let mut gd = GDiffPredictor::new(Capacity::Unbounded, 8);
     let mut sequence = Vec::new();
     let (mut s_ok, mut d_ok, mut g_ok, mut total) = (0u64, 0u64, 0u64, 0u64);
-    for inst in value_stream(Benchmark::Parser, params) {
+    for inst in value_stream_on(source, Benchmark::Parser, params) {
         if inst.pc == target_pc {
             if sequence.len() < 250 {
                 sequence.push(inst.value);
@@ -133,25 +160,34 @@ pub struct Fig8Row {
 /// Regenerates Figure 8: profile accuracy of the local predictors and
 /// gDiff over all value-producing instructions.
 pub fn fig8(params: RunParams) -> Vec<Fig8Row> {
+    fig8_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`fig8`] against an explicit instruction origin.
+pub fn fig8_on(source: &dyn TraceSource, params: RunParams) -> Vec<Fig8Row> {
     Benchmark::ALL
         .into_iter()
         .map(|bench| {
-            let stride = run_profile(
+            let stride = run_profile_on(
+                source,
                 bench,
                 &mut StridePredictor::new(Capacity::Unbounded),
                 params,
             );
-            let dfcm = run_profile(
+            let dfcm = run_profile_on(
+                source,
                 bench,
                 &mut DfcmPredictor::new(Capacity::Unbounded, 4, 16),
                 params,
             );
-            let g8 = run_profile(
+            let g8 = run_profile_on(
+                source,
                 bench,
                 &mut GDiffPredictor::new(Capacity::Unbounded, 8),
                 params,
             );
-            let g32 = run_profile(
+            let g32 = run_profile_on(
+                source,
                 bench,
                 &mut GDiffPredictor::new(Capacity::Unbounded, 32),
                 params,
@@ -202,6 +238,11 @@ pub fn fig9_sizes() -> Vec<Option<usize>> {
 
 /// Regenerates Figure 9: the aliasing effect of bounding the gDiff table.
 pub fn fig9(params: RunParams) -> Vec<Fig9Row> {
+    fig9_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`fig9`] against an explicit instruction origin.
+pub fn fig9_on(source: &dyn TraceSource, params: RunParams) -> Vec<Fig9Row> {
     Benchmark::ALL
         .into_iter()
         .map(|bench| {
@@ -214,7 +255,7 @@ pub fn fig9(params: RunParams) -> Vec<Fig9Row> {
                     Some(n) => Capacity::Entries(n),
                 };
                 let mut p = GDiffPredictor::new(cap, 8);
-                let stats = run_profile(bench, &mut p, params);
+                let stats = run_profile_on(source, bench, &mut p, params);
                 conflict_rates.push(p.conflict_rate());
                 if size.is_none() {
                     accuracy_unlimited = stats.accuracy();
@@ -252,6 +293,11 @@ pub fn fig10_delays() -> Vec<usize> {
 
 /// Regenerates Figure 10: gDiff (q=8) accuracy under value delay T.
 pub fn fig10(params: RunParams) -> Vec<Fig10Row> {
+    fig10_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`fig10`] against an explicit instruction origin.
+pub fn fig10_on(source: &dyn TraceSource, params: RunParams) -> Vec<Fig10Row> {
     Benchmark::ALL
         .into_iter()
         .map(|bench| {
@@ -259,7 +305,7 @@ pub fn fig10(params: RunParams) -> Vec<Fig10Row> {
                 .into_iter()
                 .map(|t| {
                     let mut p = GDiffPredictor::with_delay(Capacity::Unbounded, 8, t);
-                    run_profile(bench, &mut p, params).accuracy()
+                    run_profile_on(source, bench, &mut p, params).accuracy()
                 })
                 .collect();
             Fig10Row { bench, accuracy }
@@ -288,6 +334,11 @@ pub fn ablate_queue_orders() -> Vec<usize> {
 /// Queue-order ablation: how far correlations reach per benchmark (§3's
 /// gap discussion generalized).
 pub fn ablate_queue(params: RunParams) -> Vec<QueueRow> {
+    ablate_queue_on(&SyntheticSource::new(params.seed), params)
+}
+
+/// [`ablate_queue`] against an explicit instruction origin.
+pub fn ablate_queue_on(source: &dyn TraceSource, params: RunParams) -> Vec<QueueRow> {
     Benchmark::ALL
         .into_iter()
         .map(|bench| {
@@ -295,7 +346,7 @@ pub fn ablate_queue(params: RunParams) -> Vec<QueueRow> {
                 .into_iter()
                 .map(|n| {
                     let mut p = GDiffPredictor::new(Capacity::Unbounded, n);
-                    run_profile(bench, &mut p, params).accuracy()
+                    run_profile_on(source, bench, &mut p, params).accuracy()
                 })
                 .collect();
             QueueRow { bench, accuracy }

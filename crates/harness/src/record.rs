@@ -1,0 +1,443 @@
+//! Trace capture and replay plumbing for the harness CLI.
+//!
+//! `record` runs the synthetic benchmark models once and captures exactly
+//! the instruction prefix the selected experiments will consume into a
+//! `tracefile` container; `replay` opens such a container, verifies it,
+//! and reconstructs the run parameters from its metadata so the same
+//! experiments reproduce the direct run's numbers bit for bit.
+
+use std::fmt;
+use std::path::Path;
+
+use obs::{JsonValue, Meter, Registry};
+use tracefile::{FileSource, TraceFileError, TraceWriter, DEFAULT_CHUNK_CAP};
+use workloads::trace::format_inst;
+use workloads::Benchmark;
+
+use crate::pipe::pipeline_trace_len;
+use crate::profile::profile_producers;
+use crate::RunParams;
+
+/// Schema tag stamped into every harness-recorded trace file's metadata.
+pub const META_SCHEMA: &str = "gdiff-tracefile-meta/v1";
+
+/// Which §3/§4 methodology an experiment uses — this decides how much of
+/// each benchmark stream a recording must capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpKind {
+    /// Profile mode consumes a fixed count of *value-producing*
+    /// instructions (the stream is filtered before the take), so a
+    /// recording must keep writing raw instructions until enough
+    /// producers have passed.
+    Profile,
+    /// Pipeline mode consumes a fixed count of raw instructions.
+    Pipeline,
+}
+
+/// The methodology of a named experiment (`None` for unknown names).
+pub fn experiment_kind(exp: &str) -> Option<ExpKind> {
+    match exp {
+        "fig1" | "fig8" | "fig9" | "fig10" | "ablate-queue" => Some(ExpKind::Profile),
+        "fig12" | "fig13" | "fig16" | "fig18a" | "fig18b" | "table2" | "fig19"
+        | "ablate-filler" | "ablate-confidence" | "ablate-depth" | "prefetch" | "limit" => {
+            Some(ExpKind::Pipeline)
+        }
+        _ => None,
+    }
+}
+
+/// The benchmarks a named experiment streams.
+pub fn experiment_benchmarks(exp: &str) -> Vec<Benchmark> {
+    match exp {
+        "fig1" => vec![Benchmark::Parser],
+        "fig12" => vec![Benchmark::Vortex],
+        _ => Benchmark::ALL.to_vec(),
+    }
+}
+
+/// Per-benchmark capture targets. Both constraints must be met: an
+/// experiment mix can demand a raw prefix (pipeline mode) *and* a
+/// producer count (profile mode) from the same benchmark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Need {
+    raw: usize,
+    producers: usize,
+}
+
+fn needs(
+    experiments: &[String],
+    profile: RunParams,
+    pipeline: RunParams,
+) -> Vec<(Benchmark, Need)> {
+    let mut by_bench = vec![Need::default(); Benchmark::ALL.len()];
+    for exp in experiments {
+        let Some(kind) = experiment_kind(exp) else {
+            continue;
+        };
+        for bench in experiment_benchmarks(exp) {
+            let i = Benchmark::ALL
+                .iter()
+                .position(|b| *b == bench)
+                .expect("experiment benchmarks come from Benchmark::ALL");
+            match kind {
+                ExpKind::Profile => {
+                    by_bench[i].producers = by_bench[i].producers.max(profile_producers(profile))
+                }
+                ExpKind::Pipeline => {
+                    by_bench[i].raw = by_bench[i].raw.max(pipeline_trace_len(pipeline))
+                }
+            }
+        }
+    }
+    Benchmark::ALL
+        .into_iter()
+        .zip(by_bench)
+        .filter(|(_, n)| *n != Need::default())
+        .collect()
+}
+
+/// Statistics from a completed recording.
+#[derive(Debug, Clone)]
+pub struct RecordReport {
+    /// (benchmark, raw instructions captured), in `Benchmark::ALL` order.
+    pub per_bench: Vec<(Benchmark, u64)>,
+    /// Total instructions captured.
+    pub records: u64,
+    /// Final container size in bytes.
+    pub binary_bytes: u64,
+    /// What the same instructions would occupy in the text trace format.
+    pub text_bytes: u64,
+    /// Encode throughput, instructions per second.
+    pub insts_per_sec: f64,
+    /// Encode throughput, MiB of container output per second.
+    pub mib_per_sec: f64,
+}
+
+impl RecordReport {
+    /// Container bytes per captured instruction.
+    pub fn bytes_per_inst(&self) -> f64 {
+        self.binary_bytes as f64 / self.records.max(1) as f64
+    }
+
+    /// How many times smaller the container is than the text format.
+    pub fn compression_vs_text(&self) -> f64 {
+        self.text_bytes as f64 / self.binary_bytes.max(1) as f64
+    }
+}
+
+/// Captures the benchmark streams the named experiments will consume into
+/// a trace container at `path`, and publishes `tracefile.encode.*`
+/// throughput plus `tracefile.bytes_per_inst` /
+/// `tracefile.compression_ratio_vs_text` into `registry`.
+pub fn record(
+    path: impl AsRef<Path>,
+    experiments: &[String],
+    profile: RunParams,
+    pipeline: RunParams,
+    scale: f64,
+    registry: &mut Registry,
+) -> Result<RecordReport, TraceFileError> {
+    let path = path.as_ref();
+    let mut w = TraceWriter::create(path, DEFAULT_CHUNK_CAP)?;
+    let meta = JsonValue::object()
+        .with("schema", META_SCHEMA)
+        .with("seed", profile.seed)
+        .with("scale", scale)
+        .with("experiments", experiments.to_vec())
+        .with(
+            "profile",
+            JsonValue::object()
+                .with("warmup", profile.warmup)
+                .with("measure", profile.measure),
+        )
+        .with(
+            "pipeline",
+            JsonValue::object()
+                .with("warmup", pipeline.warmup)
+                .with("measure", pipeline.measure),
+        );
+    w.set_meta(meta.to_json());
+
+    let mut meter = Meter::new();
+    let mut per_bench = Vec::new();
+    let mut text_bytes = 0u64;
+    for (bench, need) in needs(experiments, profile, pipeline) {
+        w.begin_stream(bench.name())?;
+        let (mut raw, mut producers) = (0usize, 0usize);
+        for inst in bench.build(profile.seed) {
+            if raw >= need.raw && producers >= need.producers {
+                break;
+            }
+            w.push(&inst)?;
+            raw += 1;
+            if inst.produces_value() {
+                producers += 1;
+            }
+            text_bytes += format_inst(&inst).len() as u64 + 1;
+        }
+        per_bench.push((bench, raw as u64));
+    }
+    w.finish()?;
+
+    let records: u64 = per_bench.iter().map(|(_, n)| *n).sum();
+    let binary_bytes = std::fs::metadata(path)?.len();
+    meter.add(records, binary_bytes);
+    let (insts_per_sec, mib_per_sec) = meter.publish(registry, "tracefile.encode");
+    let report = RecordReport {
+        per_bench,
+        records,
+        binary_bytes,
+        text_bytes,
+        insts_per_sec,
+        mib_per_sec,
+    };
+    let bpi = registry.gauge("tracefile.bytes_per_inst");
+    registry.set_gauge(bpi, report.bytes_per_inst());
+    let ratio = registry.gauge("tracefile.compression_ratio_vs_text");
+    registry.set_gauge(ratio, report.compression_vs_text());
+    Ok(report)
+}
+
+/// Why a trace file cannot drive a replay.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The container itself failed to open or verify.
+    File(TraceFileError),
+    /// The container is intact but its metadata is not a harness
+    /// recording (missing, wrong schema, or malformed fields).
+    Meta(String),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::File(e) => write!(f, "{e}"),
+            ReplayError::Meta(m) => write!(f, "trace file metadata: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::File(e) => Some(e),
+            ReplayError::Meta(_) => None,
+        }
+    }
+}
+
+impl From<TraceFileError> for ReplayError {
+    fn from(e: TraceFileError) -> Self {
+        ReplayError::File(e)
+    }
+}
+
+/// A verified trace file plus the run parameters reconstructed from its
+/// metadata: everything a replay needs to reproduce the direct run.
+#[derive(Debug)]
+pub struct ReplayPlan {
+    /// The verified file-backed source.
+    pub source: FileSource,
+    /// The experiments named at record time.
+    pub experiments: Vec<String>,
+    /// The workload seed the trace was generated from.
+    pub seed: u64,
+    /// The `--scale` in effect at record time.
+    pub scale: f64,
+    /// Profile-mode run parameters.
+    pub profile: RunParams,
+    /// Pipeline-mode run parameters.
+    pub pipeline: RunParams,
+}
+
+fn meta_u64(meta: &JsonValue, key: &str) -> Result<u64, ReplayError> {
+    meta.path(key)
+        .and_then(|v| v.as_f64())
+        .map(|v| v as u64)
+        .ok_or_else(|| ReplayError::Meta(format!("missing numeric field `{key}`")))
+}
+
+fn meta_params(meta: &JsonValue, key: &str, seed: u64) -> Result<RunParams, ReplayError> {
+    Ok(RunParams {
+        seed,
+        warmup: meta_u64(meta, &format!("{key}.warmup"))?,
+        measure: meta_u64(meta, &format!("{key}.measure"))?,
+    })
+}
+
+/// Opens and fully verifies a recorded trace, publishing
+/// `tracefile.decode.*` throughput for the verification pass into
+/// `registry`, and decodes its metadata into a [`ReplayPlan`].
+pub fn open_replay(
+    path: impl AsRef<Path>,
+    registry: &mut Registry,
+) -> Result<ReplayPlan, ReplayError> {
+    let mut meter = Meter::new();
+    let source = FileSource::open(path)?;
+    let v = source.verified();
+    meter.add(v.records, v.payload_bytes);
+    meter.publish(registry, "tracefile.decode");
+
+    let meta = JsonValue::parse(source.meta())
+        .map_err(|e| ReplayError::Meta(format!("not valid JSON: {e}")))?;
+    let schema = meta.path("schema").and_then(|v| v.as_str());
+    if schema != Some(META_SCHEMA) {
+        return Err(ReplayError::Meta(format!(
+            "schema {:?} is not {META_SCHEMA:?} (was this recorded by `harness record`?)",
+            schema.unwrap_or("<missing>")
+        )));
+    }
+    let seed = meta_u64(&meta, "seed")?;
+    let scale = meta
+        .path("scale")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| ReplayError::Meta("missing numeric field `scale`".into()))?;
+    let experiments: Vec<String> = meta
+        .path("experiments")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| ReplayError::Meta("missing array field `experiments`".into()))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| ReplayError::Meta("non-string experiment name".into()))
+        })
+        .collect::<Result<_, _>>()?;
+    let profile = meta_params(&meta, "profile", seed)?;
+    let pipeline = meta_params(&meta, "pipeline", seed)?;
+    Ok(ReplayPlan {
+        source,
+        experiments,
+        seed,
+        scale,
+        profile,
+        pipeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::TraceSource;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gdtrace-record-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn every_experiment_has_a_kind() {
+        for exp in [
+            "fig1",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig12",
+            "fig13",
+            "fig16",
+            "fig18a",
+            "fig18b",
+            "table2",
+            "fig19",
+            "ablate-queue",
+            "ablate-filler",
+            "ablate-confidence",
+            "ablate-depth",
+            "prefetch",
+            "limit",
+        ] {
+            assert!(experiment_kind(exp).is_some(), "{exp} has no kind");
+            assert!(!experiment_benchmarks(exp).is_empty());
+        }
+        assert_eq!(experiment_kind("fig99"), None);
+    }
+
+    #[test]
+    fn needs_merge_profile_and_pipeline_demands() {
+        let profile = RunParams::tiny();
+        let pipeline = RunParams::tiny();
+        let exps = vec!["fig8".to_string(), "fig13".to_string()];
+        let n = needs(&exps, profile, pipeline);
+        assert_eq!(n.len(), Benchmark::ALL.len());
+        for (_, need) in &n {
+            assert_eq!(need.producers, profile_producers(profile));
+            assert_eq!(need.raw, pipeline_trace_len(pipeline));
+        }
+        // fig1 alone only needs the parser stream.
+        let n = needs(&["fig1".to_string()], profile, pipeline);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].0, Benchmark::Parser);
+        assert_eq!(n[0].1.raw, 0);
+    }
+
+    #[test]
+    fn record_then_open_replay_round_trips_params() {
+        let path = tmp_path("roundtrip.bin");
+        let mut profile = RunParams::tiny();
+        let mut pipeline = RunParams::tiny();
+        profile.seed = 7;
+        pipeline.seed = 7;
+        pipeline.measure = 20_000;
+        let mut reg = Registry::new();
+        let exps = vec!["fig1".to_string(), "fig12".to_string()];
+        let rep = record(&path, &exps, profile, pipeline, 0.25, &mut reg).unwrap();
+        assert_eq!(rep.per_bench.len(), 2);
+        assert!(rep.records > 0);
+        assert!(rep.binary_bytes > 0);
+        assert!(
+            rep.text_bytes > rep.binary_bytes,
+            "binary {} must beat text {}",
+            rep.binary_bytes,
+            rep.text_bytes
+        );
+        assert!(reg.counter_by_name("tracefile.encode.elems").is_some());
+
+        let plan = open_replay(&path, &mut reg).unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.scale, 0.25);
+        assert_eq!(plan.experiments, exps);
+        assert_eq!(plan.profile, profile);
+        assert_eq!(plan.pipeline, pipeline);
+        assert!(plan.source.has_benchmark(Benchmark::Parser));
+        assert!(plan.source.has_benchmark(Benchmark::Vortex));
+        assert!(!plan.source.has_benchmark(Benchmark::Gcc));
+        assert!(reg.counter_by_name("tracefile.decode.elems").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recorded_profile_stream_carries_enough_producers() {
+        let path = tmp_path("producers.bin");
+        let params = RunParams::tiny();
+        let mut reg = Registry::new();
+        record(&path, &["fig1".to_string()], params, params, 1.0, &mut reg).unwrap();
+        let plan = open_replay(&path, &mut reg).unwrap();
+        let producers = plan
+            .source
+            .stream(Benchmark::Parser)
+            .filter(|i| i.produces_value())
+            .count();
+        assert!(
+            producers >= profile_producers(params),
+            "{producers} < {}",
+            profile_producers(params)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_meta_is_rejected_with_a_reason() {
+        let path = tmp_path("foreign.bin");
+        let mut w = TraceWriter::create(&path, 64).unwrap();
+        w.begin_stream("gcc").unwrap();
+        w.push(&workloads::DynInst::alu(0x400000, 1, [None, None], 9))
+            .unwrap();
+        w.set_meta("{\"schema\":\"someone-elses/v9\"}");
+        w.finish().unwrap();
+        let e = open_replay(&path, &mut Registry::new()).unwrap_err();
+        assert!(matches!(e, ReplayError::Meta(_)), "got {e}");
+        assert!(e.to_string().contains("someone-elses/v9"));
+        std::fs::remove_file(&path).ok();
+    }
+}

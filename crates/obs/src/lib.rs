@@ -23,6 +23,6 @@ pub mod span;
 pub mod trace;
 
 pub use json::JsonValue;
-pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, Registry};
+pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, Meter, Registry};
 pub use span::{span, SpanGuard, SpanStats};
 pub use trace::{tracer, TraceEvent, TraceKind, Tracer};

@@ -344,9 +344,104 @@ impl Registry {
     }
 }
 
+/// A wall-clock throughput meter that publishes into a [`Registry`].
+///
+/// Wraps the "count things, divide by elapsed time" pattern the
+/// encode/decode paths need (`tracefile.*` metrics): start one, feed it
+/// element and byte counts as work happens, then
+/// [`publish`](Meter::publish) under a name prefix. Published metrics:
+///
+/// * `<prefix>.elems` (counter) and `<prefix>.bytes` (counter);
+/// * `<prefix>.seconds` (gauge) — elapsed wall time;
+/// * `<prefix>.elems_per_sec` and `<prefix>.mib_per_sec` (gauges).
+#[derive(Debug, Clone)]
+pub struct Meter {
+    start: std::time::Instant,
+    elems: u64,
+    bytes: u64,
+}
+
+impl Meter {
+    /// Starts the clock.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Meter {
+            start: std::time::Instant::now(),
+            elems: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Records `elems` processed elements spanning `bytes` bytes.
+    #[inline]
+    pub fn add(&mut self, elems: u64, bytes: u64) {
+        self.elems += elems;
+        self.bytes += bytes;
+    }
+
+    /// Elements recorded so far.
+    pub fn elems(&self) -> u64 {
+        self.elems
+    }
+
+    /// Bytes recorded so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Elapsed seconds since the meter started.
+    pub fn seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Publishes the totals and rates under `prefix` and returns
+    /// `(elems_per_sec, mib_per_sec)`.
+    pub fn publish(&self, registry: &mut Registry, prefix: &str) -> (f64, f64) {
+        let secs = self.seconds();
+        // Sub-microsecond elapsed times (empty inputs) would report
+        // absurd rates; floor the divisor instead.
+        let div = secs.max(1e-9);
+        let eps = self.elems as f64 / div;
+        let mibps = self.bytes as f64 / (1024.0 * 1024.0) / div;
+        let c = registry.counter(&format!("{prefix}.elems"));
+        registry.add(c, self.elems);
+        let c = registry.counter(&format!("{prefix}.bytes"));
+        registry.add(c, self.bytes);
+        let g = registry.gauge(&format!("{prefix}.seconds"));
+        registry.set_gauge(g, secs);
+        let g = registry.gauge(&format!("{prefix}.elems_per_sec"));
+        registry.set_gauge(g, eps);
+        let g = registry.gauge(&format!("{prefix}.mib_per_sec"));
+        registry.set_gauge(g, mibps);
+        (eps, mibps)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn meter_publishes_totals_and_rates() {
+        let mut reg = Registry::new();
+        let mut m = Meter::new();
+        m.add(1000, 4096);
+        m.add(24, 100);
+        assert_eq!(m.elems(), 1024);
+        assert_eq!(m.bytes(), 4196);
+        let (eps, mibps) = m.publish(&mut reg, "tracefile.encode");
+        assert!(eps > 0.0 && eps.is_finite());
+        assert!(mibps > 0.0 && mibps.is_finite());
+        assert_eq!(reg.counter_by_name("tracefile.encode.elems"), Some(1024));
+        assert_eq!(reg.counter_by_name("tracefile.encode.bytes"), Some(4196));
+        let j = reg.to_json();
+        let rate = j
+            .get("gauges")
+            .and_then(|g| g.get("tracefile.encode.elems_per_sec"))
+            .and_then(|v| v.as_f64())
+            .expect("rate gauge exported");
+        assert!(rate > 0.0);
+    }
 
     #[test]
     fn counters_and_gauges_round_trip() {

@@ -1,0 +1,129 @@
+//! Conversion between the text trace format and the binary container.
+//!
+//! The text format (`workloads::trace`) is the interchange path for
+//! external tracers; the binary container is the storage and replay path.
+//! Both directions stream line-by-line / chunk-by-chunk in constant
+//! memory.
+
+use std::io::{BufRead, Write};
+
+use workloads::trace::{format_inst, read_trace};
+
+use crate::container::{TraceFileError, TraceReader, TraceWriter};
+
+/// Byte and record counts from a conversion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConvertStats {
+    /// Instructions converted.
+    pub records: u64,
+    /// Bytes of text consumed or produced (instruction lines only,
+    /// including the newline; comments and blanks excluded).
+    pub text_bytes: u64,
+    /// Bytes of binary produced or consumed (whole container).
+    pub binary_bytes: u64,
+}
+
+/// Reads the text format from `r` and writes one binary stream `name`.
+///
+/// The text format carries no stream concept, so the whole input becomes a
+/// single stream. Text parse errors abort the conversion with the
+/// offending line number.
+pub fn text_to_binary<R: BufRead, W: Write>(
+    r: R,
+    w: &mut TraceWriter<W>,
+    name: &str,
+) -> Result<ConvertStats, TraceFileError> {
+    let mut stats = ConvertStats::default();
+    w.begin_stream(name)?;
+    for item in read_trace(r) {
+        let inst = item?;
+        stats.text_bytes += format_inst(&inst).len() as u64 + 1;
+        w.push(&inst)?;
+        stats.records += 1;
+    }
+    Ok(stats)
+}
+
+/// Writes every stream of `r` back out as text.
+///
+/// Streams are emitted in id order, each preceded by a `# stream: <name>`
+/// comment line (ignored by the text parser, so the output reads back as
+/// one concatenated trace).
+pub fn binary_to_text<R: std::io::Read + std::io::Seek, W: Write>(
+    r: &mut TraceReader<R>,
+    mut w: W,
+) -> Result<ConvertStats, TraceFileError> {
+    let mut stats = ConvertStats::default();
+    let names: Vec<String> = r.streams().iter().map(|s| s.name.clone()).collect();
+    for name in names {
+        writeln!(w, "# stream: {name}")?;
+        // Collect the per-chunk errors eagerly; the iterator borrows the
+        // reader, so errors must be surfaced before the next stream.
+        let mut pending: Result<(), TraceFileError> = Ok(());
+        for item in r.stream_records(&name)? {
+            match item {
+                Ok(inst) => {
+                    let line = format_inst(&inst);
+                    stats.text_bytes += line.len() as u64 + 1;
+                    writeln!(w, "{line}")?;
+                    stats.records += 1;
+                }
+                Err(e) => {
+                    pending = Err(e);
+                    break;
+                }
+            }
+        }
+        pending?;
+    }
+    stats.binary_bytes = r.data_end();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::{TraceReader, TraceWriter};
+    use std::io::Cursor;
+    use workloads::trace::write_trace;
+    use workloads::{Benchmark, DynInst};
+
+    #[test]
+    fn text_binary_text_round_trips() {
+        let insts: Vec<DynInst> = Benchmark::Parser.build(3).take(4_000).collect();
+        let mut text = Vec::new();
+        write_trace(&mut text, insts.iter().copied()).unwrap();
+
+        let mut w = TraceWriter::new(Vec::new(), 512).unwrap();
+        let stats = text_to_binary(Cursor::new(&text), &mut w, "parser").unwrap();
+        assert_eq!(stats.records, 4_000);
+        let bytes = w.finish().unwrap();
+        // Delta compression should beat the text encoding comfortably.
+        assert!(
+            (bytes.len() as u64) < stats.text_bytes,
+            "binary {} >= text {}",
+            bytes.len(),
+            stats.text_bytes
+        );
+
+        let mut r = TraceReader::new(Cursor::new(bytes)).unwrap();
+        let mut text2 = Vec::new();
+        let stats2 = binary_to_text(&mut r, &mut text2).unwrap();
+        assert_eq!(stats2.records, 4_000);
+        let parsed: Vec<DynInst> = workloads::trace::read_trace(Cursor::new(text2))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(parsed, insts);
+    }
+
+    #[test]
+    fn text_errors_carry_their_line() {
+        let text = "400 alu d1 v2a\n404 bogus\n";
+        let mut w = TraceWriter::new(Vec::new(), 64).unwrap();
+        let e = text_to_binary(Cursor::new(text), &mut w, "x").unwrap_err();
+        match e {
+            TraceFileError::Text(pe) => assert_eq!(pe.line, 2),
+            other => panic!("expected Text error, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), table-driven.
+//!
+//! The same checksum gzip/zip/PNG use; enough to catch the random bit rot
+//! and truncation a trace file meets on disk or in transit. Not a defense
+//! against adversarial modification.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Computes the CRC-32 of `data` in one call.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn any_single_bit_flip_changes_the_crc() {
+        let data: Vec<u8> = (0u16..256).map(|b| b as u8).collect();
+        let clean = crc32(&data);
+        let mut flipped = data.clone();
+        for byte in 0..flipped.len() {
+            for bit in 0..8 {
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip at {byte}.{bit} undetected");
+                flipped[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! LEB128 varints and zigzag signed mapping.
+//!
+//! Deltas between consecutive trace fields are small signed integers;
+//! zigzag folds the sign into the low bit so small negative deltas stay
+//! short, and LEB128 then stores 7 payload bits per byte. A `u64` needs at
+//! most [`MAX_VARINT_LEN`] bytes.
+
+/// Maximum encoded length of one varint (⌈64 / 7⌉ bytes).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Maps a signed delta onto an unsigned integer with the sign in bit 0.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `v` to `out` as a LEB128 varint.
+#[inline]
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Appends a zigzag-encoded signed varint to `out`.
+#[inline]
+pub fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    put_uvarint(out, zigzag(v));
+}
+
+/// Reads one varint from `buf` starting at `*pos`, advancing `*pos`.
+///
+/// Returns `None` when the buffer ends mid-varint or the encoding exceeds
+/// [`MAX_VARINT_LEN`] bytes (overlong/overflowing encodings are rejected
+/// rather than silently truncated).
+#[inline]
+pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for _ in 0..MAX_VARINT_LEN {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        let payload = (b & 0x7f) as u64;
+        // The 10th byte may only contribute the u64's top bit.
+        if shift == 63 && payload > 1 {
+            return None;
+        }
+        v |= payload << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Reads one zigzag-encoded signed varint (see [`get_uvarint`]).
+#[inline]
+pub fn get_ivarint(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    get_uvarint(buf, pos).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 0x7fff, -0x8000] {
+            assert_eq!(unzigzag(zigzag(v)), v, "value {v}");
+        }
+        // Small magnitudes map to small codes (the compression property).
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn uvarint_round_trips() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, 0xffff, u64::MAX, 1 << 63];
+        for &v in &values {
+            put_uvarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_uvarint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn ivarint_round_trips() {
+        let mut buf = Vec::new();
+        let values = [0i64, -1, 1, i64::MIN, i64::MAX, -4096, 4096];
+        for &v in &values {
+            put_ivarint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(get_ivarint(&buf, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn truncated_and_overlong_varints_are_rejected() {
+        // Truncated: continuation bit set, then EOF.
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&[0x80], &mut pos), None);
+        // Overlong: 10 continuation bytes never terminate.
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&[0x80; 11], &mut pos), None);
+        // Overflow: 10th byte carrying more than the top bit.
+        let mut buf = vec![0xff; 9];
+        buf.push(0x7f);
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), None);
+        // u64::MAX itself is fine (10th byte == 1).
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), MAX_VARINT_LEN);
+        let mut pos = 0;
+        assert_eq!(get_uvarint(&buf, &mut pos), Some(u64::MAX));
+    }
+}

@@ -43,9 +43,11 @@
 mod inst;
 pub mod kernels;
 mod program;
+mod source;
 mod spec;
 pub mod trace;
 
 pub use inst::{DynInst, OpClass};
 pub use program::Program;
+pub use source::{SyntheticSource, TraceSource};
 pub use spec::Benchmark;

@@ -1,0 +1,90 @@
+//! Pluggable origins for dynamic instruction streams.
+//!
+//! Experiments consume a per-benchmark stream of [`DynInst`]s. Where that
+//! stream comes from is an implementation detail: the synthetic program
+//! models in this crate, or a trace captured to disk and replayed later.
+//! [`TraceSource`] abstracts over the origin so the harness can run any
+//! experiment against either without knowing which it got.
+//!
+//! This crate provides [`SyntheticSource`] (the benchmark models, seeded);
+//! the `tracefile` crate provides a file-backed implementation.
+
+use crate::{Benchmark, DynInst};
+
+/// An origin of per-benchmark dynamic instruction streams.
+///
+/// Implementations must be deterministic: two calls to
+/// [`stream`](TraceSource::stream) with the same benchmark yield the same
+/// instruction sequence. Experiments take a fixed-length prefix of the
+/// stream, so implementations may be infinite (synthetic models) or finite
+/// (captured traces); a finite stream that is shorter than an experiment
+/// needs simply ends early, and the experiment's driver decides whether
+/// that is an error.
+pub trait TraceSource {
+    /// A short human-readable description of the origin (for reports and
+    /// error messages), e.g. `"synthetic (seed 42)"` or a file path.
+    fn describe(&self) -> String;
+
+    /// Opens the instruction stream for `bench` from the beginning.
+    fn stream(&self, bench: Benchmark) -> Box<dyn Iterator<Item = DynInst> + '_>;
+}
+
+/// The built-in synthetic program models, parameterized by seed.
+///
+/// This is the default source: [`stream`](TraceSource::stream) delegates to
+/// [`Benchmark::build`], producing the same infinite deterministic stream
+/// the experiments have always consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticSource {
+    seed: u64,
+}
+
+impl SyntheticSource {
+    /// A synthetic source generating every benchmark from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SyntheticSource { seed }
+    }
+
+    /// The seed all streams are generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl TraceSource for SyntheticSource {
+    fn describe(&self) -> String {
+        format!("synthetic (seed {})", self.seed)
+    }
+
+    fn stream(&self, bench: Benchmark) -> Box<dyn Iterator<Item = DynInst> + '_> {
+        Box::new(bench.build(self.seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_source_matches_direct_build() {
+        let src = SyntheticSource::new(42);
+        let via_source: Vec<DynInst> = src.stream(Benchmark::Gcc).take(1_000).collect();
+        let direct: Vec<DynInst> = Benchmark::Gcc.build(42).take(1_000).collect();
+        assert_eq!(via_source, direct);
+    }
+
+    #[test]
+    fn streams_restart_from_the_beginning() {
+        let src = SyntheticSource::new(7);
+        let a: Vec<DynInst> = src.stream(Benchmark::Parser).take(100).collect();
+        let b: Vec<DynInst> = src.stream(Benchmark::Parser).take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn source_is_object_safe() {
+        let src: Box<dyn TraceSource> = Box::new(SyntheticSource::new(1));
+        assert!(src.describe().contains("seed 1"));
+        assert_eq!(src.stream(Benchmark::Mcf).take(10).count(), 10);
+    }
+}

@@ -43,7 +43,7 @@ use crate::{DynInst, OpClass};
 /// An error encountered while parsing a trace line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseTraceError {
-    /// 1-based line number (0 when unknown).
+    /// 1-based line number within the source the line came from.
     pub line: usize,
     /// What went wrong.
     pub message: String,
@@ -115,11 +115,29 @@ pub fn format_inst(inst: &DynInst) -> String {
 
 /// Parses one trace line (see the module docs for the format).
 ///
+/// Equivalent to [`parse_line_at`] with line number 1; use that variant
+/// when the line came from a known position in a larger source.
+///
 /// # Errors
 ///
-/// Returns [`ParseTraceError`] (with `line == 0`) on malformed input.
+/// Returns [`ParseTraceError`] on malformed input.
 pub fn parse_line(line: &str) -> Result<DynInst, ParseTraceError> {
-    let err = |message: String| ParseTraceError { line: 0, message };
+    parse_line_at(line, 1)
+}
+
+/// Parses one trace line known to sit at 1-based line `line_no`.
+///
+/// Every error path stamps `line_no` into the returned error, so callers
+/// never see a placeholder line number.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] carrying `line_no` on malformed input.
+pub fn parse_line_at(line: &str, line_no: usize) -> Result<DynInst, ParseTraceError> {
+    let err = |message: String| ParseTraceError {
+        line: line_no,
+        message,
+    };
     let mut fields = line.split_whitespace();
     let pc = u64::from_str_radix(fields.next().ok_or_else(|| err("empty line".into()))?, 16)
         .map_err(|e| err(format!("bad pc: {e}")))?;
@@ -145,7 +163,10 @@ pub fn parse_line(line: &str) -> Result<DynInst, ParseTraceError> {
             expect_target = false;
             continue;
         }
-        let (tag, rest) = f.split_at(1);
+        // Split after the first *character*: `split_at(1)` would panic on
+        // a multi-byte first char, and garbage input must error, not panic.
+        let first_len = f.chars().next().map_or(0, char::len_utf8);
+        let (tag, rest) = f.split_at(first_len);
         match tag {
             "d" => inst.dst = Some(rest.parse().map_err(|e| err(format!("bad dst: {e}")))?),
             "s" => {
@@ -210,10 +231,7 @@ pub fn read_trace<R: BufRead>(r: R) -> impl Iterator<Item = Result<DynInst, Pars
             if t.is_empty() || t.starts_with('#') {
                 None
             } else {
-                Some(parse_line(t).map_err(|mut e| {
-                    e.line = i + 1;
-                    e
-                }))
+                Some(parse_line_at(t, i + 1))
             }
         }
     })
@@ -274,11 +292,49 @@ mod tests {
     }
 
     #[test]
+    fn mid_file_errors_report_their_own_line() {
+        // Line 4 is the malformed one; comments and blanks still count
+        // toward line numbering even though they produce no items.
+        let text = "# header\n400 alu d1 v2a\n\n404 frobnicate\n408 alu d2 v3\n";
+        let results: Vec<_> = read_trace(io::Cursor::new(text)).collect();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        let e = results[1].as_ref().unwrap_err();
+        assert_eq!(e.line, 4, "error must carry the malformed line's number");
+        assert!(e.message.contains("frobnicate"));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn parse_line_at_stamps_every_error_path() {
+        for bad in [
+            "",
+            "zzz alu",
+            "400",
+            "400 frobnicate",
+            "400 alu d1 s2 s3 s4 v0",
+            "400 alu dX v0",
+            "400 alu sX d1 v0",
+            "400 alu d1 vZZ",
+            "400 load d1 s2 v0 mZZ",
+            "400 branch bT",
+            "400 branch bX 10",
+            "400 branch bT ZZ",
+            "400 alu q1",
+        ] {
+            let e = parse_line_at(bad, 37).unwrap_err();
+            assert_eq!(e.line, 37, "line not stamped for input {bad:?}: {e}");
+        }
+    }
+
+    #[test]
     fn rejects_malformed_fields() {
         assert!(parse_line("zzz alu").is_err());
         assert!(parse_line("400 frobnicate").is_err());
         assert!(parse_line("400 alu d1 s2 s3 s4 v0").is_err());
         assert!(parse_line("400 branch bT").is_err());
         assert!(parse_line("400 branch bX 10").is_err());
+        // Multi-byte first character in a field: error, not panic.
+        assert!(parse_line("400 alu \u{e9}1").is_err());
     }
 }

@@ -4,12 +4,15 @@
 use proptest::prelude::*;
 use std::io::Cursor;
 use workloads::trace::{format_inst, parse_line, read_trace, write_trace};
-use workloads::{Benchmark, DynInst};
+use workloads::{Benchmark, DynInst, OpClass};
 
-fn arb_inst() -> impl Strategy<Value = DynInst> {
+/// A strategy covering every `OpClass` variant (including `IntDiv`, which
+/// has no dedicated constructor) and every legal source-count shape
+/// (0, 1 or 2 sources, packed left, as the text format canonicalizes).
+pub fn arb_inst() -> impl Strategy<Value = DynInst> {
     (
         any::<u64>(),
-        0u8..7,
+        0u8..10,
         0u8..64,
         0u8..64,
         any::<u64>(),
@@ -17,13 +20,34 @@ fn arb_inst() -> impl Strategy<Value = DynInst> {
         any::<bool>(),
     )
         .prop_map(|(pc, kind, r1, r2, value, mem, taken)| match kind {
-            0 | 1 => DynInst::alu(pc, r1, [Some(r2), None], value),
-            2 => DynInst::mul(pc, r1, [Some(r2), Some(r1)], value),
-            3 => DynInst::load(pc, r1, r2, mem, value),
-            4 => DynInst::store(pc, r1, r2, mem),
-            5 => DynInst::branch(pc, r1, taken, mem),
+            0 => DynInst::alu(pc, r1, [None, None], value),
+            1 => DynInst::alu(pc, r1, [Some(r2), None], value),
+            2 => DynInst::alu(pc, r1, [Some(r2), Some(r1)], value),
+            3 => DynInst::mul(pc, r1, [Some(r2), Some(r1)], value),
+            4 => DynInst {
+                op: OpClass::IntDiv,
+                ..DynInst::alu(pc, r1, [Some(r2), Some(r1)], value)
+            },
+            5 => DynInst::load(pc, r1, r2, mem, value),
+            6 => DynInst::store(pc, r1, r2, mem),
+            7 => DynInst::branch(pc, r1, taken, mem),
+            8 => DynInst::branch(pc, r1, !taken, mem),
             _ => DynInst::jump(pc, mem),
         })
+}
+
+#[test]
+fn arb_inst_reaches_every_op_class() {
+    // The round-trip property below is only as strong as the generator's
+    // coverage; pin that coverage so a refactor can't silently lose a
+    // variant (`IntDiv` was historically missing).
+    let strat = arb_inst();
+    let mut seen = std::collections::HashSet::new();
+    let mut rng = proptest::__case_rng("arb_inst_reaches_every_op_class", 0);
+    for _ in 0..512 {
+        seen.insert(std::mem::discriminant(&strat.generate(&mut rng).op));
+    }
+    assert_eq!(seen.len(), 7, "expected all 7 OpClass variants generated");
 }
 
 proptest! {

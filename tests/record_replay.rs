@@ -1,0 +1,98 @@
+//! Record-then-replay equivalence: a trace captured by `harness record`
+//! must drive the same experiments to the same numbers as the synthetic
+//! models it was captured from, and corruption must be caught at open.
+
+use harness::record::{open_replay, record, ReplayError};
+use harness::{fig1_on, RunParams};
+use obs::Registry;
+use pipeline::HgvqEngine;
+use tracefile::TraceFileError;
+use workloads::{Benchmark, SyntheticSource};
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gdtrace-rr-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn small_params(seed: u64) -> RunParams {
+    RunParams {
+        seed,
+        warmup: 1_000,
+        measure: 5_000,
+    }
+}
+
+#[test]
+fn replayed_profile_experiment_matches_direct_run() {
+    let path = tmp_path("profile.bin");
+    let params = small_params(9);
+    let mut reg = Registry::new();
+    record(&path, &["fig1".to_string()], params, params, 1.0, &mut reg).unwrap();
+
+    let direct = fig1_on(&SyntheticSource::new(params.seed), params);
+    let plan = open_replay(&path, &mut Registry::new()).unwrap();
+    assert_eq!(plan.profile, params);
+    let replayed = fig1_on(&plan.source, plan.profile);
+
+    assert_eq!(replayed.sequence, direct.sequence);
+    assert_eq!(replayed.stride_accuracy, direct.stride_accuracy);
+    assert_eq!(replayed.dfcm_accuracy, direct.dfcm_accuracy);
+    assert_eq!(replayed.gdiff_accuracy, direct.gdiff_accuracy);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replayed_pipeline_run_matches_accuracy_and_coverage() {
+    let path = tmp_path("pipeline.bin");
+    let params = small_params(11);
+    let mut reg = Registry::new();
+    record(&path, &["fig12".to_string()], params, params, 1.0, &mut reg).unwrap();
+
+    let engine = || Box::new(HgvqEngine::paper_default());
+    let direct = harness::pipe::run_pipeline_on(
+        &SyntheticSource::new(params.seed),
+        Benchmark::Vortex,
+        engine(),
+        params,
+    );
+    let plan = open_replay(&path, &mut Registry::new()).unwrap();
+    assert_eq!(plan.pipeline, params);
+    let replayed =
+        harness::pipe::run_pipeline_on(&plan.source, Benchmark::Vortex, engine(), plan.pipeline);
+
+    assert_eq!(replayed.vp.gated_accuracy(), direct.vp.gated_accuracy());
+    assert_eq!(replayed.vp.coverage(), direct.vp.coverage());
+    assert_eq!(replayed.ipc(), direct.ipc());
+    assert_eq!(replayed.cycles, direct.cycles);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_capture_is_refused_with_the_chunk_named() {
+    let path = tmp_path("corrupt.bin");
+    let params = small_params(5);
+    record(
+        &path,
+        &["fig12".to_string()],
+        params,
+        params,
+        1.0,
+        &mut Registry::new(),
+    )
+    .unwrap();
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip one bit inside chunk 0's payload (header is 24 bytes, chunk
+    // header 16 more).
+    bytes[24 + 16 + 10] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let e = open_replay(&path, &mut Registry::new()).unwrap_err();
+    match &e {
+        ReplayError::File(TraceFileError::Corrupt { chunk, .. }) => assert_eq!(*chunk, 0),
+        other => panic!("expected chunk corruption, got {other}"),
+    }
+    assert!(e.to_string().contains("chunk 0"), "message: {e}");
+    std::fs::remove_file(&path).ok();
+}
