@@ -1,0 +1,89 @@
+//! The per-instruction hot path: GDiffCore update and GVQ push.
+//!
+//! These are the operations executed once per completing instruction, so
+//! they bound simulator throughput. The update path is allocation-free:
+//! difference vectors live inline in the table entry (`gdiff::MAX_ORDER`)
+//! and the per-completion scratch is a stack array plus an availability
+//! bitmask. `gdiff_update/order_*` is the acceptance series for hot-path
+//! changes; `gvq/*` covers the queue half of the pair.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gdiff::{GDiffCore, GlobalValueQueue};
+use predictors::Capacity;
+
+fn bench_gvq_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gvq");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push", |b| {
+        let mut q = GlobalValueQueue::new(32);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            q.push(black_box(i))
+        })
+    });
+    g.bench_function("iter_order_32", |b| {
+        let mut q = GlobalValueQueue::new(32);
+        for i in 0..64 {
+            q.push(i * 3);
+        }
+        b.iter(|| q.iter().flatten().fold(0u64, u64::wrapping_add))
+    });
+    g.finish();
+}
+
+fn bench_gdiff_update(c: &mut Criterion) {
+    // One update computes `order` differences against the queue, selects a
+    // distance, and stores the vector — all without heap allocation.
+    let mut g = c.benchmark_group("gdiff_update");
+    g.throughput(Throughput::Elements(1));
+    for order in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("order", order), &order, |b, &order| {
+            let mut core = GDiffCore::new(Capacity::Entries(8192), order);
+            let mut q = GlobalValueQueue::new(order);
+            for i in 0..order as u64 * 2 {
+                q.push(i * 3);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                core.update_with(black_box(0x40), black_box(i * 7), |k| q.back(k));
+                q.push(i * 7);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gdiff_predict_update_round(c: &mut Criterion) {
+    // The full per-instruction pair: predict at dispatch, update at
+    // completion, queue push in between — the simulator's inner loop.
+    let mut g = c.benchmark_group("gdiff_round");
+    g.throughput(Throughput::Elements(1));
+    for order in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("order", order), &order, |b, &order| {
+            let mut core = GDiffCore::new(Capacity::Entries(8192), order);
+            let mut q = GlobalValueQueue::new(order);
+            for i in 0..order as u64 * 2 {
+                q.push(i * 3);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let p = core.predict_with(black_box(0x40), |k| q.back(k));
+                core.update_with(0x40, i * 7, |k| q.back(k));
+                q.push(i * 7);
+                black_box(p)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gvq_push,
+    bench_gdiff_update,
+    bench_gdiff_predict_update_round
+);
+criterion_main!(benches);

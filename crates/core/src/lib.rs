@@ -79,7 +79,7 @@ pub use hybrid::{HgvqPredictor, HgvqToken};
 pub use predictor::GDiffPredictor;
 pub use queue::{GlobalValueQueue, SlotId};
 pub use speculative::{SgvqPredictor, SgvqToken};
-pub use table::{GDiffCore, GDiffEntry};
+pub use table::{GDiffCore, GDiffEntry, MAX_ORDER};
 
 #[cfg(test)]
 mod tests {

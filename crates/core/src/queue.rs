@@ -158,10 +158,18 @@ impl GlobalValueQueue {
         self.valid[idx].then(|| self.values[idx])
     }
 
+    /// Iterates over the resident values, most recent first (`None` for
+    /// unpatched speculative slots), without allocating.
+    pub fn iter(&self) -> impl Iterator<Item = Option<u64>> + '_ {
+        (1..=self.order()).map(|k| self.back(k))
+    }
+
     /// Snapshot of the resident values, most recent first (`None` for
-    /// unpatched speculative slots). Mainly useful for tests and debugging.
+    /// unpatched speculative slots). Mainly useful for tests and debugging;
+    /// per-instruction paths should use the allocation-free
+    /// [`iter`](Self::iter) instead.
     pub fn snapshot(&self) -> Vec<Option<u64>> {
-        (1..=self.order()).map(|k| self.back(k)).collect()
+        self.iter().collect()
     }
 }
 
@@ -259,6 +267,14 @@ mod tests {
         q.push(1);
         q.push(2);
         assert_eq!(q.snapshot(), vec![Some(2), Some(1), None]);
+    }
+
+    #[test]
+    fn iter_matches_snapshot() {
+        let mut q = GlobalValueQueue::new(3);
+        q.push(7);
+        q.push_empty();
+        assert_eq!(q.iter().collect::<Vec<_>>(), q.snapshot());
     }
 
     #[test]

@@ -2,17 +2,42 @@
 
 use predictors::{Capacity, PcTable};
 
+/// The largest queue order any [`GDiffCore`] supports.
+///
+/// Entries store their differences in a fixed inline array of this size,
+/// so the per-completion update path never touches the heap: hardware
+/// would provision a fixed number of difference fields per entry, and the
+/// paper's configurations (order 8 profile, order 32 pipelined, order 64
+/// in the queue-order ablation) all fit.
+pub const MAX_ORDER: usize = 64;
+
 /// One prediction-table entry (Figure 5): the `n` differences between the
 /// instruction's last result and the `n` values that finished immediately
 /// before it, plus the *selected distance*.
-#[derive(Debug, Clone, Default)]
+///
+/// Differences live in a fixed inline array (no per-entry heap storage);
+/// only the first `order` slots — fixed per [`GDiffCore`] — are ever used.
+#[derive(Debug, Clone)]
 pub struct GDiffEntry {
     /// `diffs[i]` is the difference at distance `i + 1`.
-    diffs: Vec<i64>,
+    diffs: [i64; MAX_ORDER],
+    /// How many leading slots of `diffs` are meaningful (the core's order).
+    order: u16,
     /// Whether `diffs` holds at least one observation.
     seen: bool,
     /// The selected distance `k` (1-based), once a repeat has been found.
     distance: Option<u16>,
+}
+
+impl Default for GDiffEntry {
+    fn default() -> Self {
+        GDiffEntry {
+            diffs: [0; MAX_ORDER],
+            order: 0,
+            seen: false,
+            distance: None,
+        }
+    }
 }
 
 impl GDiffEntry {
@@ -23,7 +48,7 @@ impl GDiffEntry {
 
     /// The stored difference at `distance` (1-based), if recorded.
     pub fn diff(&self, distance: usize) -> Option<i64> {
-        if !self.seen || distance == 0 {
+        if !self.seen || distance == 0 || distance > usize::from(self.order) {
             return None;
         }
         self.diffs.get(distance - 1).copied()
@@ -64,10 +89,13 @@ impl GDiffCore {
     ///
     /// # Panics
     ///
-    /// Panics if `order` is zero or exceeds `u16::MAX`.
+    /// Panics if `order` is zero or exceeds [`MAX_ORDER`].
     pub fn new(capacity: Capacity, order: usize) -> Self {
         assert!(order > 0, "gdiff order must be nonzero");
-        assert!(order <= u16::MAX as usize, "gdiff order too large");
+        assert!(
+            order <= MAX_ORDER,
+            "gdiff order exceeds MAX_ORDER ({MAX_ORDER})"
+        );
         GDiffCore {
             table: PcTable::new(capacity),
             order,
@@ -97,19 +125,25 @@ impl GDiffCore {
     /// Trains the table with `pc`'s actual result, reading the queue
     /// through `value_at` anchored the same way predictions for this
     /// instruction are anchored.
+    ///
+    /// This is the per-completion hot path: the candidate differences live
+    /// in a stack scratch array, so no heap allocation ever happens here.
     pub fn update_with(&mut self, pc: u64, actual: u64, value_at: impl Fn(usize) -> Option<u64>) {
         let order = self.order;
-        let calc: Vec<Option<i64>> = (1..=order)
-            .map(|k| value_at(k).map(|v| actual.wrapping_sub(v) as i64))
-            .collect();
+        // Scratch lives on the stack; availability is a bitmask (MAX_ORDER
+        // ≤ 64) so the only per-call memory traffic is the diff array.
+        let mut calc = [0i64; MAX_ORDER];
+        let mut avail: u64 = 0;
+        for k in 1..=order {
+            if let Some(v) = value_at(k) {
+                calc[k - 1] = actual.wrapping_sub(v) as i64;
+                avail |= 1 << (k - 1);
+            }
+        }
         let e = self.table.entry_shared(pc);
         if e.seen {
-            let matches = |k: usize| -> bool {
-                match (calc.get(k - 1).copied().flatten(), e.diffs.get(k - 1)) {
-                    (Some(c), Some(&s)) => c == s,
-                    _ => false,
-                }
-            };
+            let matches =
+                |k: usize| -> bool { avail & (1 << (k - 1)) != 0 && calc[k - 1] == e.diffs[k - 1] };
             let chosen = match e.distance {
                 Some(k) if matches(usize::from(k)) => Some(usize::from(k)),
                 _ => (1..=order).find(|&k| matches(k)),
@@ -121,14 +155,12 @@ impl GDiffCore {
         // Store the calculated differences (unavailable slots keep their
         // previous difference so a transiently empty HGVQ slot does not
         // erase learned state).
-        if e.diffs.len() != order {
-            e.diffs.resize(order, 0);
-        }
-        for (i, c) in calc.iter().enumerate() {
-            if let Some(c) = *c {
-                e.diffs[i] = c;
+        for (i, &d) in calc.iter().enumerate().take(order) {
+            if avail & (1 << i) != 0 {
+                e.diffs[i] = d;
             }
         }
+        e.order = order as u16;
         e.seen = true;
     }
 
@@ -248,5 +280,31 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_order_rejected() {
         let _ = GDiffCore::new(Capacity::Unbounded, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_ORDER")]
+    fn oversized_order_rejected() {
+        let _ = GDiffCore::new(Capacity::Unbounded, MAX_ORDER + 1);
+    }
+
+    #[test]
+    fn diff_beyond_order_is_none() {
+        let mut c = GDiffCore::new(Capacity::Unbounded, 2);
+        c.update_with(0, 10, q(&[4, 6]));
+        let e = c.entry(0).unwrap();
+        assert_eq!(e.diff(2), Some(4));
+        assert_eq!(e.diff(3), None, "beyond the core's order");
+        assert_eq!(e.diff(MAX_ORDER + 5), None);
+    }
+
+    #[test]
+    fn max_order_core_works_end_to_end() {
+        let mut c = GDiffCore::new(Capacity::Unbounded, MAX_ORDER);
+        let vals: Vec<u64> = (0..MAX_ORDER as u64).collect();
+        c.update_with(0, 100, q(&vals));
+        c.update_with(0, 200, q(&vals.iter().map(|v| v + 100).collect::<Vec<_>>()));
+        // Every distance repeats; smallest wins.
+        assert_eq!(c.entry(0).unwrap().distance(), Some(1));
     }
 }

@@ -163,26 +163,34 @@ pub fn fig18_on(
 ) -> Vec<Fig18Row> {
     Benchmark::ALL
         .into_iter()
-        .map(|bench| {
-            let mut obs = AddressPredictionObserver::with_markov(markov);
-            let trace = source.stream(bench).take(pipeline_trace_len(params));
-            let _ = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp)).run_with_observer(
-                trace,
-                params.warmup,
-                params.measure,
-                &mut obs,
-            );
-            Fig18Row {
-                bench,
-                stride: cov_acc(&obs.stride_stats.0),
-                gdiff: cov_acc(&obs.gdiff_stats.0),
-                markov: cov_acc(&obs.markov_stats.0),
-                stride_miss: cov_acc(&obs.stride_stats.1),
-                gdiff_miss: cov_acc(&obs.gdiff_stats.1),
-                markov_miss: cov_acc(&obs.markov_stats.1),
-            }
-        })
+        .map(|bench| fig18_bench(source, bench, params, markov))
         .collect()
+}
+
+/// One benchmark's Figure 18 row — the independently schedulable cell.
+pub fn fig18_bench(
+    source: &dyn TraceSource,
+    bench: Benchmark,
+    params: RunParams,
+    markov: MarkovConfig,
+) -> Fig18Row {
+    let mut obs = AddressPredictionObserver::with_markov(markov);
+    let trace = source.stream(bench).take(pipeline_trace_len(params));
+    let _ = Simulator::new(PipelineConfig::r10k(), Box::new(NoVp)).run_with_observer(
+        trace,
+        params.warmup,
+        params.measure,
+        &mut obs,
+    );
+    Fig18Row {
+        bench,
+        stride: cov_acc(&obs.stride_stats.0),
+        gdiff: cov_acc(&obs.gdiff_stats.0),
+        markov: cov_acc(&obs.markov_stats.0),
+        stride_miss: cov_acc(&obs.stride_stats.1),
+        gdiff_miss: cov_acc(&obs.gdiff_stats.1),
+        markov_miss: cov_acc(&obs.markov_stats.1),
+    }
 }
 
 #[cfg(test)]

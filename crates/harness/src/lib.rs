@@ -30,23 +30,29 @@
 #![warn(missing_debug_implementations)]
 
 pub mod addr;
+pub mod cells;
 pub mod pipe;
 pub mod profile;
 pub mod record;
+pub mod render;
 pub mod report;
+pub mod sched;
 
-pub use addr::{fig18, fig18_on, Fig18Row};
+pub use addr::{fig18, fig18_bench, fig18_on, Fig18Row};
 pub use pipe::{
-    ablate_confidence, ablate_confidence_on, ablate_depth, ablate_depth_on, ablate_filler,
-    ablate_filler_on, fig12, fig12_on, fig13, fig13_on, fig16, fig16_on, fig19, fig19_on, limit,
-    limit_on, prefetch, prefetch_on, table2, table2_on, ConfidenceRow, DelayDistribution, DepthRow,
-    FillerRow, LimitRow, PipelineVpRow, PrefetchRow, SpeedupRow,
+    ablate_confidence, ablate_confidence_on, ablate_confidence_point, ablate_confidence_thresholds,
+    ablate_depth, ablate_depth_on, ablate_depth_point, ablate_depth_points, ablate_filler,
+    ablate_filler_bench, ablate_filler_on, fig12, fig12_on, fig13, fig13_bench, fig13_on, fig16,
+    fig16_bench, fig16_on, fig19, fig19_bench, fig19_on, limit, limit_bench, limit_on, prefetch,
+    prefetch_bench, prefetch_on, table2, table2_bench, table2_on, ConfidenceRow, DelayDistribution,
+    DepthRow, FillerRow, LimitRow, PipelineVpRow, PrefetchRow, SpeedupRow,
 };
 pub use profile::{
-    ablate_queue, ablate_queue_on, fig1, fig10, fig10_on, fig1_on, fig8, fig8_on, fig9, fig9_on,
-    Fig10Row, Fig8Row, Fig9Row, QueueRow,
+    ablate_queue, ablate_queue_bench, ablate_queue_on, fig1, fig10, fig10_bench, fig10_on, fig1_on,
+    fig8, fig8_bench, fig8_on, fig9, fig9_bench, fig9_on, Fig10Row, Fig8Row, Fig9Row, QueueRow,
 };
 pub use record::{open_replay, record, RecordReport, ReplayError, ReplayPlan};
+pub use sched::{default_jobs, run_plans, Cell, ExperimentOutput, ExperimentPlan};
 
 /// Run-size parameters shared by all experiments.
 ///

@@ -5,6 +5,8 @@
 //!
 //! Options: `--scale <f>` multiplies run sizes (default 1.0),
 //! `--seed <n>` sets the workload seed (default 42),
+//! `--jobs <n>` / `-j<n>` sets the worker count (default: all cores);
+//! output is byte-identical for every worker count,
 //! `--json <path|->` writes a machine-readable run report,
 //! `--trace-last <n>` records pipeline trace events and dumps the last n.
 //!
@@ -15,17 +17,13 @@
 //! the text trace format and the binary container (direction sniffed from
 //! the input's magic bytes).
 
+use harness::cells::{plan_for, ALL_EXPERIMENTS};
 use harness::record::{open_replay, record};
-use harness::report::{f2, pct, speedup_pct, RunReport, Table};
-use harness::{
-    ablate_confidence_on, ablate_depth_on, ablate_filler_on, ablate_queue_on, fig10_on, fig12_on,
-    fig13_on, fig16_on, fig18_on, fig19_on, fig1_on, fig8_on, fig9_on, limit_on,
-    pipe::harmonic_mean, prefetch_on, profile::ablate_queue_orders, profile::fig10_delays,
-    profile::fig9_sizes, table2_on, Fig18Row, PipelineVpRow, RunParams,
-};
+use harness::report::{RunReport, Table};
+use harness::sched::{default_jobs, run_plans};
+use harness::RunParams;
 use obs::trace::tracer;
 use obs::{JsonValue, Registry};
-use predictors::MarkovConfig;
 use std::sync::atomic::{AtomicBool, Ordering};
 use workloads::{SyntheticSource, TraceSource};
 
@@ -57,6 +55,8 @@ macro_rules! outln {
 struct Options {
     scale: f64,
     seed: u64,
+    /// `--jobs <n>` / `-j<n>`; `None` means one worker per core.
+    jobs: Option<usize>,
     /// `--json <path>`; `-` means stdout.
     json: Option<String>,
     /// `--trace-last <n>`: ring capacity and dump size.
@@ -70,6 +70,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
     let mut opts = Options {
         scale: 1.0,
         seed: 42,
+        jobs: None,
         json: None,
         trace_last: None,
         experiments: Vec::new(),
@@ -80,6 +81,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             "--scale" => opts.scale = parse_value(&a, it.next())?,
             "--seed" => opts.seed = parse_value(&a, it.next())?,
             "--trace-last" => opts.trace_last = Some(parse_value(&a, it.next())?),
+            "--jobs" | "-j" => opts.jobs = Some(parse_jobs(&a, it.next())?),
             "--json" => {
                 opts.json = Some(
                     it.next()
@@ -88,6 +90,11 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with("--") => return Err(format!("unknown option: {other}")),
+            // Attached worker count: -j4.
+            other if other.starts_with("-j") => {
+                opts.jobs = Some(parse_jobs("-j", Some(other[2..].to_string()))?)
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option: {other}")),
             other => opts.experiments.push(other.to_string()),
         }
     }
@@ -100,26 +107,13 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Resul
         .map_err(|_| format!("{flag}: invalid value '{v}'"))
 }
 
-/// The canonical experiment list (`all` expands to this).
-const ALL_EXPERIMENTS: [&str; 17] = [
-    "fig1",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig12",
-    "fig13",
-    "fig16",
-    "fig18a",
-    "fig18b",
-    "table2",
-    "fig19",
-    "ablate-queue",
-    "ablate-filler",
-    "ablate-confidence",
-    "ablate-depth",
-    "prefetch",
-    "limit",
-];
+fn parse_jobs(flag: &str, value: Option<String>) -> Result<usize, String> {
+    let n: usize = parse_value(flag, value)?;
+    if n == 0 {
+        return Err(format!("{flag}: worker count must be at least 1"));
+    }
+    Ok(n)
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -193,6 +187,7 @@ fn main_run(args: Vec<String>) {
         pipeline: pipelinep,
         seed: opts.seed,
         scale: opts.scale,
+        jobs: opts.jobs.unwrap_or_else(default_jobs),
         json: opts.json,
         trace_last: opts.trace_last,
         sections: Vec::new(),
@@ -209,6 +204,8 @@ struct Execution<'a> {
     pipeline: RunParams,
     seed: u64,
     scale: f64,
+    /// Scheduler worker count (replay forces 1).
+    jobs: usize,
     json: Option<String>,
     trace_last: Option<usize>,
     /// Extra report sections (e.g. replay's tracefile metrics).
@@ -220,15 +217,21 @@ fn execute(x: Execution<'_>) {
         tracer().enable(n.max(1));
     }
 
+    let plans = x
+        .selected
+        .iter()
+        .map(|exp| plan_for(exp, x.source, x.profile, x.pipeline))
+        .collect();
     let mut report = RunReport::new(x.seed, x.scale);
-    for exp in x.selected {
-        let span = obs::span::span(format!("experiment.{exp}"));
-        let t0 = std::time::Instant::now();
-        let data = run_experiment(exp, x.source, x.profile, x.pipeline);
-        report.add_experiment(exp, data);
-        drop(span);
-        eprintln!("[{exp} took {:.1}s]\n", t0.elapsed().as_secs_f64());
-    }
+    let mut master = Registry::new();
+    // Experiments fan out into per-benchmark cells across the workers, but
+    // emission happens strictly in plan order, so the tables and the
+    // `experiments` report section are byte-identical for any worker count.
+    let cells = run_plans(plans, x.jobs, &mut master, |res| {
+        out!("{}", res.text);
+        eprintln!("[{} took {:.1}s]\n", res.name, res.busy.as_secs_f64());
+        report.add_experiment(&res.name, res.json);
+    });
 
     if let Some(n) = x.trace_last {
         tracer().disable();
@@ -249,6 +252,13 @@ fn execute(x: Execution<'_>) {
             );
         report.add_section("trace", section);
     }
+    report.add_section(
+        "scheduler",
+        JsonValue::object()
+            .with("jobs", x.jobs as u64)
+            .with("cells", cells as u64),
+    );
+    report.add_section("metrics", master.to_json());
     for (name, section) in x.sections {
         report.add_section(&name, section);
     }
@@ -261,34 +271,6 @@ fn execute(x: Execution<'_>) {
             eprintln!("error: cannot write {dest}: {e}");
             std::process::exit(1);
         }
-    }
-}
-
-fn run_experiment(
-    exp: &str,
-    source: &dyn TraceSource,
-    profile: RunParams,
-    pipelinep: RunParams,
-) -> JsonValue {
-    match exp {
-        "fig1" => run_fig1(source, profile),
-        "fig8" => run_fig8(source, profile),
-        "fig9" => run_fig9(source, profile),
-        "fig10" => run_fig10(source, profile),
-        "fig12" => run_fig12(source, pipelinep),
-        "fig13" => run_fig13(source, pipelinep),
-        "fig16" => run_fig16(source, pipelinep),
-        "fig18a" => run_fig18(source, pipelinep, false),
-        "fig18b" => run_fig18(source, pipelinep, true),
-        "table2" => run_table2(source, pipelinep),
-        "fig19" => run_fig19(source, pipelinep),
-        "ablate-queue" => run_ablate_queue(source, profile),
-        "ablate-filler" => run_ablate_filler(source, pipelinep),
-        "ablate-confidence" => run_ablate_confidence(source, pipelinep),
-        "ablate-depth" => run_ablate_depth(source, pipelinep),
-        "prefetch" => run_prefetch(source, pipelinep),
-        "limit" => run_limit(source, pipelinep),
-        _ => unreachable!("validated by select_experiments"),
     }
 }
 
@@ -318,7 +300,7 @@ fn main_record(args: Vec<String>) {
                 print_usage();
                 return;
             }
-            other if other.starts_with("--") => {
+            other if other.starts_with('-') => {
                 usage_error(&format!("unknown record option: {other}"))
             }
             other => experiments.push(other.to_string()),
@@ -384,7 +366,7 @@ fn main_replay(args: Vec<String>) {
                 print_usage();
                 return;
             }
-            other if other.starts_with("--") => {
+            other if other.starts_with('-') => {
                 usage_error(&format!("unknown replay option: {other}"))
             }
             other if file.is_none() => file = Some(other.to_string()),
@@ -420,6 +402,9 @@ fn main_replay(args: Vec<String>) {
         pipeline: plan.pipeline,
         seed: plan.seed,
         scale: plan.scale,
+        // Replay streams the capture sequentially; parallel cells would
+        // contend for the reader, so replay always runs single-worker.
+        jobs: 1,
         json,
         trace_last,
         sections: vec![("tracefile".to_string(), registry.to_json())],
@@ -427,7 +412,7 @@ fn main_replay(args: Vec<String>) {
 }
 
 fn main_convert(args: Vec<String>) {
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage();
         return;
@@ -481,611 +466,22 @@ fn convert_any(
 
 fn print_usage() {
     eprintln!(
-        "usage: harness [--scale F] [--seed N] [--json PATH|-] [--trace-last N] <experiment>...\n\
+        "usage: harness [--scale F] [--seed N] [--jobs N|-jN] [--json PATH|-]\n\
+         \x20              [--trace-last N] <experiment>...\n\
          \x20      harness record --out FILE [--scale F] [--seed N] <experiment>...\n\
          \x20      harness replay FILE [--json PATH|-] [--trace-last N]\n\
          \x20      harness convert IN OUT\n\
          experiments: fig1 fig8 fig9 fig10 fig12 fig13 fig16 fig18a fig18b\n\
          table2 fig19 ablate-queue ablate-filler ablate-confidence\n\
          ablate-depth prefetch limit all\n\
+         --jobs runs experiment cells on N workers (default: all cores);\n\
+         output is byte-identical for every worker count\n\
          --json writes a machine-readable run report (- for stdout)\n\
          --trace-last records pipeline events and dumps the final N\n\
          record captures the instruction streams the named experiments\n\
          consume into a chunked, CRC-checked binary container; replay\n\
-         re-runs them from the capture with identical results; convert\n\
-         translates text traces to the container and back (direction\n\
-         sniffed from the input's magic bytes)"
+         re-runs them from the capture with identical results (always\n\
+         single-worker); convert translates text traces to the container\n\
+         and back (direction sniffed from the input's magic bytes)"
     );
-}
-
-fn avg(xs: impl IntoIterator<Item = f64>) -> f64 {
-    let v: Vec<f64> = xs.into_iter().collect();
-    v.iter().sum::<f64>() / v.len() as f64
-}
-
-fn run_fig1(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let f = fig1_on(source, p);
-    outln!("== Figure 1: hard-to-predict value sequence (parser spill/fill reload) ==");
-    outln!("first 40 values (paper plots the last three digits):");
-    for chunk in f.sequence.iter().take(40).collect::<Vec<_>>().chunks(10) {
-        outln!(
-            "  {}",
-            chunk
-                .iter()
-                .map(|v| format!("{v:>5}"))
-                .collect::<Vec<_>>()
-                .join(" ")
-        );
-    }
-    outln!(
-        "local stride accuracy on this instruction: {} (paper: 4%)",
-        pct(f.stride_accuracy)
-    );
-    outln!(
-        "local DFCM accuracy on this instruction:   {} (paper: 2%)",
-        pct(f.dfcm_accuracy)
-    );
-    outln!(
-        "gdiff(q=8) accuracy on this instruction:   {} (paper: ~100% via the correlated load)",
-        pct(f.gdiff_accuracy)
-    );
-    JsonValue::object()
-        .with(
-            "sequence_head",
-            f.sequence.iter().take(40).copied().collect::<Vec<u64>>(),
-        )
-        .with("stride_accuracy", f.stride_accuracy)
-        .with("dfcm_accuracy", f.dfcm_accuracy)
-        .with("gdiff_accuracy", f.gdiff_accuracy)
-}
-
-fn run_fig8(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let rows = fig8_on(source, p);
-    let mut t = Table::new(
-        "Figure 8: profile value-prediction accuracy (all value producers, unlimited tables)",
-        &["bench", "stride", "DFCM", "gdiff(q=8)", "gdiff(q=32)"],
-    );
-    for r in &rows {
-        t.row(vec![
-            r.bench.to_string(),
-            pct(r.stride),
-            pct(r.dfcm),
-            pct(r.gdiff_q8),
-            pct(r.gdiff_q32),
-        ]);
-    }
-    t.row(vec![
-        "average".into(),
-        pct(avg(rows.iter().map(|r| r.stride))),
-        pct(avg(rows.iter().map(|r| r.dfcm))),
-        pct(avg(rows.iter().map(|r| r.gdiff_q8))),
-        pct(avg(rows.iter().map(|r| r.gdiff_q32))),
-    ]);
-    out!("{}", t.render());
-    outln!("(paper averages: stride 57%, DFCM 64%, gdiff(q=8) 73%; gap recovers to 59.7% at q=32)");
-    rows_json(&rows, |r| {
-        JsonValue::object()
-            .with("bench", r.bench.to_string())
-            .with("stride", r.stride)
-            .with("dfcm", r.dfcm)
-            .with("gdiff_q8", r.gdiff_q8)
-            .with("gdiff_q32", r.gdiff_q32)
-    })
-}
-
-/// Wraps per-benchmark rows as `{"rows": [...]}`.
-fn rows_json<T>(rows: &[T], f: impl Fn(&T) -> JsonValue) -> JsonValue {
-    JsonValue::object().with("rows", JsonValue::Arr(rows.iter().map(f).collect()))
-}
-
-fn run_fig9(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let rows = fig9_on(source, p);
-    let sizes = fig9_sizes();
-    let mut headers: Vec<String> = vec!["bench".into()];
-    headers.extend(sizes.iter().map(|s| match s {
-        None => "unlimited".to_string(),
-        Some(n) => format!("{}K", n / 1024),
-    }));
-    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new(
-        "Figure 9: gdiff table aliasing (conflict rate) per table size",
-        &hdr_refs,
-    );
-    for r in &rows {
-        let mut cells = vec![r.bench.to_string()];
-        cells.extend(r.conflict_rates.iter().map(|c| pct(*c)));
-        t.row(cells);
-    }
-    out!("{}", t.render());
-    let degr = avg(rows.iter().map(|r| r.accuracy_unlimited - r.accuracy_8k));
-    outln!(
-        "mean accuracy loss of the 8K table vs unlimited: {} (paper: < 1%)",
-        pct(degr)
-    );
-    rows_json(&rows, |r| {
-        JsonValue::object()
-            .with("bench", r.bench.to_string())
-            .with("conflict_rates", r.conflict_rates.clone())
-            .with("accuracy_unlimited", r.accuracy_unlimited)
-            .with("accuracy_8k", r.accuracy_8k)
-    })
-}
-
-fn run_fig10(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let rows = fig10_on(source, p);
-    let delays = fig10_delays();
-    let mut headers: Vec<String> = vec!["bench".into()];
-    headers.extend(delays.iter().map(|d| format!("T={d}")));
-    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new(
-        "Figure 10: gdiff(q=8) accuracy under value delay",
-        &hdr_refs,
-    );
-    for r in &rows {
-        let mut cells = vec![r.bench.to_string()];
-        cells.extend(r.accuracy.iter().map(|a| pct(*a)));
-        t.row(cells);
-    }
-    let mut cells = vec!["average".to_string()];
-    for i in 0..delays.len() {
-        cells.push(pct(avg(rows.iter().map(|r| r.accuracy[i]))));
-    }
-    t.row(cells);
-    out!("{}", t.render());
-    outln!("(paper averages: T=0 73% falling to T=16 52%)");
-    rows_json(&rows, |r| {
-        JsonValue::object()
-            .with("bench", r.bench.to_string())
-            .with("accuracy", r.accuracy.clone())
-    })
-    .with(
-        "delays",
-        delays.iter().map(|d| *d as u64).collect::<Vec<u64>>(),
-    )
-}
-
-fn run_fig12(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let d = fig12_on(source, p);
-    outln!("== Figure 12: value-delay distribution ({}) ==", d.bench);
-    for (i, f) in d.fractions.iter().enumerate() {
-        outln!(
-            "  delay {i:>2}: {:>6}  {}",
-            pct(*f),
-            "#".repeat((f * 200.0) as usize)
-        );
-    }
-    outln!("mean value delay: {:.2} (paper: ~5)", d.mean);
-    d.to_json()
-}
-
-fn vp_table(title: &str, rows: &[PipelineVpRow], with_context: bool) -> JsonValue {
-    let headers: Vec<&str> = if with_context {
-        vec![
-            "bench",
-            "gdiff acc",
-            "gdiff cov",
-            "stride acc",
-            "stride cov",
-            "context acc",
-            "context cov",
-        ]
-    } else {
-        vec![
-            "bench",
-            "gdiff acc",
-            "gdiff cov",
-            "stride acc",
-            "stride cov",
-        ]
-    };
-    let mut t = Table::new(title, &headers);
-    for r in rows {
-        let mut cells = vec![
-            r.bench.to_string(),
-            pct(r.gdiff_accuracy),
-            pct(r.gdiff_coverage),
-            pct(r.stride_accuracy),
-            pct(r.stride_coverage),
-        ];
-        if with_context {
-            cells.push(pct(r.context_accuracy));
-            cells.push(pct(r.context_coverage));
-        }
-        t.row(cells);
-    }
-    let mut cells = vec![
-        "average".to_string(),
-        pct(avg(rows.iter().map(|r| r.gdiff_accuracy))),
-        pct(avg(rows.iter().map(|r| r.gdiff_coverage))),
-        pct(avg(rows.iter().map(|r| r.stride_accuracy))),
-        pct(avg(rows.iter().map(|r| r.stride_coverage))),
-    ];
-    if with_context {
-        cells.push(pct(avg(rows.iter().map(|r| r.context_accuracy))));
-        cells.push(pct(avg(rows.iter().map(|r| r.context_coverage))));
-    }
-    t.row(cells);
-    out!("{}", t.render());
-    rows_json(rows, |r| {
-        let mut j = JsonValue::object()
-            .with("bench", r.bench.to_string())
-            .with("gdiff_accuracy", r.gdiff_accuracy)
-            .with("gdiff_coverage", r.gdiff_coverage)
-            .with("stride_accuracy", r.stride_accuracy)
-            .with("stride_coverage", r.stride_coverage);
-        if with_context {
-            j = j
-                .with("context_accuracy", r.context_accuracy)
-                .with("context_coverage", r.context_coverage);
-        }
-        j
-    })
-}
-
-fn run_fig13(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let rows = fig13_on(source, p);
-    let j = vp_table(
-        "Figure 13: gdiff with SGVQ (q=32) vs local stride, in-pipeline, 3-bit confidence",
-        &rows,
-        false,
-    );
-    outln!("(paper averages: gdiff 74% acc / 49% cov; stride 89% acc / 55% cov)");
-    j
-}
-
-fn run_fig16(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let rows = fig16_on(source, p);
-    let j = vp_table(
-        "Figure 16: gdiff with HGVQ (q=32) vs local stride vs local context",
-        &rows,
-        true,
-    );
-    outln!("(paper averages: gdiff 91% acc / 64% cov; stride 89% / 55%; context ~87% / 45%)");
-    j
-}
-
-fn run_fig18(source: &dyn TraceSource, p: RunParams, missing: bool) -> JsonValue {
-    let rows = fig18_on(source, p, MarkovConfig::paper_256k());
-    let (title, note) = if missing {
-        (
-            "Figure 18b: predictability of MISSING load addresses",
-            "(paper averages: ls 25% cov/55% acc; gs 33% cov/53% acc; markov 69% cov/20% acc)",
-        )
-    } else {
-        (
-            "Figure 18a: load-address predictability (all loads)",
-            "(paper averages: ls 55% cov/86% acc; gs 63% cov/86% acc; markov 87% cov/33% acc)",
-        )
-    };
-    let mut t = Table::new(
-        title,
-        &[
-            "bench",
-            "ls cov",
-            "ls acc",
-            "gs cov",
-            "gs acc",
-            "markov cov",
-            "markov acc",
-        ],
-    );
-    let sel = |r: &Fig18Row| -> [(f64, f64); 3] {
-        if missing {
-            [r.stride_miss, r.gdiff_miss, r.markov_miss]
-        } else {
-            [r.stride, r.gdiff, r.markov]
-        }
-    };
-    for r in &rows {
-        let [s, g, m] = sel(r);
-        t.row(vec![
-            r.bench.to_string(),
-            pct(s.0),
-            pct(s.1),
-            pct(g.0),
-            pct(g.1),
-            pct(m.0),
-            pct(m.1),
-        ]);
-    }
-    let cols: Vec<f64> = (0..6)
-        .map(|i| {
-            avg(rows.iter().map(|r| {
-                let [s, g, m] = sel(r);
-                [s.0, s.1, g.0, g.1, m.0, m.1][i]
-            }))
-        })
-        .collect();
-    t.row(
-        std::iter::once("average".to_string())
-            .chain(cols.iter().map(|c| pct(*c)))
-            .collect(),
-    );
-    out!("{}", t.render());
-    outln!("{note}");
-    rows_json(&rows, |r| {
-        let [s, g, m] = sel(r);
-        JsonValue::object()
-            .with("bench", r.bench.to_string())
-            .with("stride_coverage", s.0)
-            .with("stride_accuracy", s.1)
-            .with("gdiff_coverage", g.0)
-            .with("gdiff_accuracy", g.1)
-            .with("markov_coverage", m.0)
-            .with("markov_accuracy", m.1)
-    })
-}
-
-fn run_table2(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let rows = table2_on(source, p);
-    let mut t = Table::new(
-        "Table 2: baseline IPC (4-way, 64-entry window, no value speculation)",
-        &["bench", "IPC"],
-    );
-    for (b, ipc) in &rows {
-        t.row(vec![b.to_string(), f2(*ipc)]);
-    }
-    out!("{}", t.render());
-    rows_json(&rows, |(b, ipc)| {
-        JsonValue::object()
-            .with("bench", b.to_string())
-            .with("ipc", *ipc)
-    })
-}
-
-fn run_fig19(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let rows = fig19_on(source, p);
-    let mut t = Table::new(
-        "Figure 19: speedup of value speculation over the no-VP baseline",
-        &[
-            "bench",
-            "base IPC",
-            "local stride",
-            "local context",
-            "gdiff (HGVQ)",
-        ],
-    );
-    for r in &rows {
-        t.row(vec![
-            r.bench.to_string(),
-            f2(r.baseline_ipc),
-            speedup_pct(r.local_stride),
-            speedup_pct(r.local_context),
-            speedup_pct(r.gdiff),
-        ]);
-    }
-    t.row(vec![
-        "H-mean".into(),
-        String::new(),
-        speedup_pct(harmonic_mean(rows.iter().map(|r| r.local_stride))),
-        speedup_pct(harmonic_mean(rows.iter().map(|r| r.local_context))),
-        speedup_pct(harmonic_mean(rows.iter().map(|r| r.gdiff))),
-    ]);
-    out!("{}", t.render());
-    outln!("(paper: gdiff up to +53% (mcf), H-mean +19.2%; local stride H-mean ~+15%)");
-    rows_json(&rows, |r| {
-        JsonValue::object()
-            .with("bench", r.bench.to_string())
-            .with("baseline_ipc", r.baseline_ipc)
-            .with("local_stride", r.local_stride)
-            .with("local_context", r.local_context)
-            .with("gdiff", r.gdiff)
-    })
-    .with("hmean_gdiff", harmonic_mean(rows.iter().map(|r| r.gdiff)))
-    .with(
-        "hmean_local_stride",
-        harmonic_mean(rows.iter().map(|r| r.local_stride)),
-    )
-}
-
-fn run_ablate_queue(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let rows = ablate_queue_on(source, p);
-    let orders = ablate_queue_orders();
-    let mut headers: Vec<String> = vec!["bench".into()];
-    headers.extend(orders.iter().map(|o| format!("q={o}")));
-    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new("Ablation: gdiff profile accuracy vs queue order", &hdr_refs);
-    for r in &rows {
-        let mut cells = vec![r.bench.to_string()];
-        cells.extend(r.accuracy.iter().map(|a| pct(*a)));
-        t.row(cells);
-    }
-    out!("{}", t.render());
-    rows_json(&rows, |r| {
-        JsonValue::object()
-            .with("bench", r.bench.to_string())
-            .with("accuracy", r.accuracy.clone())
-    })
-    .with(
-        "orders",
-        orders.iter().map(|o| *o as u64).collect::<Vec<u64>>(),
-    )
-}
-
-fn run_ablate_filler(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let rows = ablate_filler_on(source, p);
-    let mut t = Table::new(
-        "Ablation: HGVQ filler choice (accuracy / coverage)",
-        &[
-            "bench",
-            "stride filler",
-            "last-value filler",
-            "no filler (SGVQ)",
-        ],
-    );
-    for r in &rows {
-        let f = |(a, c): (f64, f64)| format!("{} / {}", pct(a), pct(c));
-        t.row(vec![
-            r.bench.to_string(),
-            f(r.stride_filler),
-            f(r.last_value_filler),
-            f(r.no_filler),
-        ]);
-    }
-    out!("{}", t.render());
-    let acc_cov = |(a, c): (f64, f64)| JsonValue::object().with("accuracy", a).with("coverage", c);
-    rows_json(&rows, |r| {
-        JsonValue::object()
-            .with("bench", r.bench.to_string())
-            .with("stride_filler", acc_cov(r.stride_filler))
-            .with("last_value_filler", acc_cov(r.last_value_filler))
-            .with("no_filler", acc_cov(r.no_filler))
-    })
-}
-
-fn run_prefetch(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let rows = prefetch_on(source, p);
-    let mut t = Table::new(
-        "Extension: address-prediction-driven prefetching (IPC speedup over no-prefetch)",
-        &[
-            "bench",
-            "miss rate",
-            "base IPC",
-            "next-line",
-            "stride",
-            "gdiff",
-            "gdiff useful",
-        ],
-    );
-    for r in &rows {
-        t.row(vec![
-            r.bench.to_string(),
-            pct(r.base_miss_rate),
-            f2(r.base_ipc),
-            speedup_pct(r.next_line),
-            speedup_pct(r.stride),
-            speedup_pct(r.gdiff),
-            pct(r.gdiff_useful),
-        ]);
-    }
-    t.row(vec![
-        "H-mean".into(),
-        String::new(),
-        String::new(),
-        speedup_pct(harmonic_mean(rows.iter().map(|r| r.next_line))),
-        speedup_pct(harmonic_mean(rows.iter().map(|r| r.stride))),
-        speedup_pct(harmonic_mean(rows.iter().map(|r| r.gdiff))),
-        String::new(),
-    ]);
-    out!("{}", t.render());
-    outln!(
-        "(the paper's §6/§8 future work: gdiff-detected global stride locality driving prefetch)"
-    );
-    rows_json(&rows, |r| {
-        JsonValue::object()
-            .with("bench", r.bench.to_string())
-            .with("base_miss_rate", r.base_miss_rate)
-            .with("base_ipc", r.base_ipc)
-            .with("next_line", r.next_line)
-            .with("stride", r.stride)
-            .with("gdiff", r.gdiff)
-            .with("gdiff_useful", r.gdiff_useful)
-    })
-}
-
-fn run_limit(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let rows = limit_on(source, p);
-    let mut t = Table::new(
-        "Limit study: gdiff vs perfect value prediction (oracle)",
-        &[
-            "bench",
-            "base IPC",
-            "gdiff (HGVQ)",
-            "oracle",
-            "headroom captured",
-        ],
-    );
-    for r in &rows {
-        let captured = if r.oracle > 1.0 {
-            (r.gdiff - 1.0) / (r.oracle - 1.0)
-        } else {
-            0.0
-        };
-        t.row(vec![
-            r.bench.to_string(),
-            f2(r.base_ipc),
-            speedup_pct(r.gdiff),
-            speedup_pct(r.oracle),
-            pct(captured.clamp(0.0, 1.0)),
-        ]);
-    }
-    t.row(vec![
-        "H-mean".into(),
-        String::new(),
-        speedup_pct(harmonic_mean(rows.iter().map(|r| r.gdiff))),
-        speedup_pct(harmonic_mean(rows.iter().map(|r| r.oracle))),
-        String::new(),
-    ]);
-    out!("{}", t.render());
-    rows_json(&rows, |r| {
-        JsonValue::object()
-            .with("bench", r.bench.to_string())
-            .with("base_ipc", r.base_ipc)
-            .with("gdiff", r.gdiff)
-            .with("oracle", r.oracle)
-    })
-}
-
-fn run_ablate_depth(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let rows = ablate_depth_on(source, p);
-    let mut t = Table::new(
-        "Ablation: front-end depth (deeper pipelines, §8 future work)",
-        &[
-            "depth",
-            "redirect",
-            "mean value delay",
-            "stride speedup",
-            "gdiff speedup",
-        ],
-    );
-    for r in &rows {
-        t.row(vec![
-            r.depth.to_string(),
-            r.redirect.to_string(),
-            format!("{:.1}", r.mean_delay),
-            speedup_pct(r.stride_speedup),
-            speedup_pct(r.gdiff_speedup),
-        ]);
-    }
-    out!("{}", t.render());
-    outln!("(in this machine deeper front ends throttle dispatch via redirect cost, shrinking");
-    outln!(" the in-flight value count and with it the headroom value prediction can exploit)");
-    rows_json(&rows, |r| {
-        JsonValue::object()
-            .with("depth", r.depth)
-            .with("redirect", r.redirect)
-            .with("mean_delay", r.mean_delay)
-            .with("stride_speedup", r.stride_speedup)
-            .with("gdiff_speedup", r.gdiff_speedup)
-    })
-}
-
-fn run_ablate_confidence(source: &dyn TraceSource, p: RunParams) -> JsonValue {
-    let rows = ablate_confidence_on(source, p);
-    let mut t = Table::new(
-        "Ablation: confidence threshold on the HGVQ engine (means over benchmarks)",
-        &["threshold", "accuracy", "coverage", "H-mean speedup"],
-    );
-    for r in &rows {
-        let thr = if r.threshold == 0 {
-            "off (0)".to_string()
-        } else {
-            r.threshold.to_string()
-        };
-        t.row(vec![
-            thr,
-            pct(r.accuracy),
-            pct(r.coverage),
-            speedup_pct(r.speedup),
-        ]);
-    }
-    out!("{}", t.render());
-    outln!("(paper uses threshold 4: +2 correct / -1 incorrect, 3-bit counters)");
-    rows_json(&rows, |r| {
-        JsonValue::object()
-            .with("threshold", r.threshold as u64)
-            .with("accuracy", r.accuracy)
-            .with("coverage", r.coverage)
-            .with("speedup", r.speedup)
-    })
 }

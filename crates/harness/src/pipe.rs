@@ -149,26 +149,56 @@ fn vp_comparison(
 ) -> Vec<PipelineVpRow> {
     Benchmark::ALL
         .into_iter()
-        .map(|bench| {
-            let g = run_pipeline_on(source, bench, gdiff(), params);
-            let s = run_pipeline_on(source, bench, Box::new(LocalEngine::stride_8k()), params);
-            let (ca, cc) = if with_context {
-                let c = run_pipeline_on(source, bench, Box::new(LocalEngine::dfcm_8k()), params);
-                (c.vp.gated_accuracy(), c.vp.coverage())
-            } else {
-                (0.0, 0.0)
-            };
-            PipelineVpRow {
-                bench,
-                gdiff_accuracy: g.vp.gated_accuracy(),
-                gdiff_coverage: g.vp.coverage(),
-                stride_accuracy: s.vp.gated_accuracy(),
-                stride_coverage: s.vp.coverage(),
-                context_accuracy: ca,
-                context_coverage: cc,
-            }
-        })
+        .map(|bench| vp_comparison_bench(source, bench, params, gdiff, with_context))
         .collect()
+}
+
+fn vp_comparison_bench(
+    source: &dyn TraceSource,
+    bench: Benchmark,
+    params: RunParams,
+    gdiff: fn() -> Box<dyn VpEngine>,
+    with_context: bool,
+) -> PipelineVpRow {
+    let g = run_pipeline_on(source, bench, gdiff(), params);
+    let s = run_pipeline_on(source, bench, Box::new(LocalEngine::stride_8k()), params);
+    let (ca, cc) = if with_context {
+        let c = run_pipeline_on(source, bench, Box::new(LocalEngine::dfcm_8k()), params);
+        (c.vp.gated_accuracy(), c.vp.coverage())
+    } else {
+        (0.0, 0.0)
+    };
+    PipelineVpRow {
+        bench,
+        gdiff_accuracy: g.vp.gated_accuracy(),
+        gdiff_coverage: g.vp.coverage(),
+        stride_accuracy: s.vp.gated_accuracy(),
+        stride_coverage: s.vp.coverage(),
+        context_accuracy: ca,
+        context_coverage: cc,
+    }
+}
+
+/// One benchmark's Figure 13 row — the independently schedulable cell.
+pub fn fig13_bench(source: &dyn TraceSource, bench: Benchmark, params: RunParams) -> PipelineVpRow {
+    vp_comparison_bench(
+        source,
+        bench,
+        params,
+        || Box::new(SgvqEngine::paper_default()),
+        false,
+    )
+}
+
+/// One benchmark's Figure 16 row — the independently schedulable cell.
+pub fn fig16_bench(source: &dyn TraceSource, bench: Benchmark, params: RunParams) -> PipelineVpRow {
+    vp_comparison_bench(
+        source,
+        bench,
+        params,
+        || Box::new(HgvqEngine::paper_default()),
+        true,
+    )
 }
 
 /// Regenerates Figure 13: gDiff with the *speculative* GVQ (order 32)
@@ -216,8 +246,20 @@ pub fn table2(params: RunParams) -> Vec<(Benchmark, f64)> {
 pub fn table2_on(source: &dyn TraceSource, params: RunParams) -> Vec<(Benchmark, f64)> {
     Benchmark::ALL
         .into_iter()
-        .map(|b| (b, run_pipeline_on(source, b, Box::new(NoVp), params).ipc()))
+        .map(|b| table2_bench(source, b, params))
         .collect()
+}
+
+/// One benchmark's baseline IPC — the independently schedulable cell.
+pub fn table2_bench(
+    source: &dyn TraceSource,
+    bench: Benchmark,
+    params: RunParams,
+) -> (Benchmark, f64) {
+    (
+        bench,
+        run_pipeline_on(source, bench, Box::new(NoVp), params).ipc(),
+    )
 }
 
 /// Speedups of value speculation over the baseline — Figure 19.
@@ -244,22 +286,23 @@ pub fn fig19(params: RunParams) -> Vec<SpeedupRow> {
 pub fn fig19_on(source: &dyn TraceSource, params: RunParams) -> Vec<SpeedupRow> {
     Benchmark::ALL
         .into_iter()
-        .map(|bench| {
-            let base = run_pipeline_on(source, bench, Box::new(NoVp), params).ipc();
-            let st =
-                run_pipeline_on(source, bench, Box::new(LocalEngine::stride_8k()), params).ipc();
-            let cx = run_pipeline_on(source, bench, Box::new(LocalEngine::dfcm_8k()), params).ipc();
-            let gd =
-                run_pipeline_on(source, bench, Box::new(HgvqEngine::paper_default()), params).ipc();
-            SpeedupRow {
-                bench,
-                baseline_ipc: base,
-                local_stride: st / base,
-                local_context: cx / base,
-                gdiff: gd / base,
-            }
-        })
+        .map(|bench| fig19_bench(source, bench, params))
         .collect()
+}
+
+/// One benchmark's Figure 19 row — the independently schedulable cell.
+pub fn fig19_bench(source: &dyn TraceSource, bench: Benchmark, params: RunParams) -> SpeedupRow {
+    let base = run_pipeline_on(source, bench, Box::new(NoVp), params).ipc();
+    let st = run_pipeline_on(source, bench, Box::new(LocalEngine::stride_8k()), params).ipc();
+    let cx = run_pipeline_on(source, bench, Box::new(LocalEngine::dfcm_8k()), params).ipc();
+    let gd = run_pipeline_on(source, bench, Box::new(HgvqEngine::paper_default()), params).ipc();
+    SpeedupRow {
+        bench,
+        baseline_ipc: base,
+        local_stride: st / base,
+        local_context: cx / base,
+        gdiff: gd / base,
+    }
 }
 
 /// Harmonic mean of a set of speedup ratios.
@@ -295,31 +338,37 @@ pub fn ablate_filler(params: RunParams) -> Vec<FillerRow> {
 pub fn ablate_filler_on(source: &dyn TraceSource, params: RunParams) -> Vec<FillerRow> {
     Benchmark::ALL
         .into_iter()
-        .map(|bench| {
-            let stride =
-                run_pipeline_on(source, bench, Box::new(HgvqEngine::paper_default()), params);
-            let lv: HgvqPredictor<LastValuePredictor> = HgvqPredictor::new(
-                Capacity::Entries(8192),
-                32,
-                Capacity::Entries(8192),
-                LastValuePredictor::new(Capacity::Entries(8192)),
-            );
-            let lv = run_pipeline_on(
-                source,
-                bench,
-                Box::new(HgvqEngine::from_predictor(lv)),
-                params,
-            );
-            let none =
-                run_pipeline_on(source, bench, Box::new(SgvqEngine::paper_default()), params);
-            FillerRow {
-                bench,
-                stride_filler: (stride.vp.gated_accuracy(), stride.vp.coverage()),
-                last_value_filler: (lv.vp.gated_accuracy(), lv.vp.coverage()),
-                no_filler: (none.vp.gated_accuracy(), none.vp.coverage()),
-            }
-        })
+        .map(|bench| ablate_filler_bench(source, bench, params))
         .collect()
+}
+
+/// One benchmark's filler-ablation row — the independently schedulable
+/// cell.
+pub fn ablate_filler_bench(
+    source: &dyn TraceSource,
+    bench: Benchmark,
+    params: RunParams,
+) -> FillerRow {
+    let stride = run_pipeline_on(source, bench, Box::new(HgvqEngine::paper_default()), params);
+    let lv: HgvqPredictor<LastValuePredictor> = HgvqPredictor::new(
+        Capacity::Entries(8192),
+        32,
+        Capacity::Entries(8192),
+        LastValuePredictor::new(Capacity::Entries(8192)),
+    );
+    let lv = run_pipeline_on(
+        source,
+        bench,
+        Box::new(HgvqEngine::from_predictor(lv)),
+        params,
+    );
+    let none = run_pipeline_on(source, bench, Box::new(SgvqEngine::paper_default()), params);
+    FillerRow {
+        bench,
+        stride_filler: (stride.vp.gated_accuracy(), stride.vp.coverage()),
+        last_value_filler: (lv.vp.gated_accuracy(), lv.vp.coverage()),
+        no_filler: (none.vp.gated_accuracy(), none.vp.coverage()),
+    }
 }
 
 /// Confidence-mechanism ablation result.
@@ -342,45 +391,58 @@ pub fn ablate_confidence(params: RunParams) -> Vec<ConfidenceRow> {
     ablate_confidence_on(&SyntheticSource::new(params.seed), params)
 }
 
+/// The confidence thresholds swept by [`ablate_confidence`].
+pub fn ablate_confidence_thresholds() -> [u8; 4] {
+    [0, 2, 4, 6]
+}
+
 /// [`ablate_confidence`] against an explicit instruction origin.
 pub fn ablate_confidence_on(source: &dyn TraceSource, params: RunParams) -> Vec<ConfidenceRow> {
-    [0u8, 2, 4, 6]
+    ablate_confidence_thresholds()
         .into_iter()
-        .map(|threshold| {
-            let mut accs = Vec::new();
-            let mut covs = Vec::new();
-            let mut ratios = Vec::new();
-            for bench in Benchmark::ALL {
-                let base = run_pipeline_on(source, bench, Box::new(NoVp), params).ipc();
-                let config = ConfidenceConfig {
-                    threshold,
-                    ..ConfidenceConfig::default()
-                };
-                let p = HgvqPredictor::with_config(
-                    Capacity::Entries(8192),
-                    32,
-                    Capacity::Entries(8192),
-                    config,
-                    StridePredictor::new(Capacity::Entries(8192)),
-                );
-                let s = run_pipeline_on(
-                    source,
-                    bench,
-                    Box::new(HgvqEngine::from_predictor(p)),
-                    params,
-                );
-                accs.push(s.vp.gated_accuracy());
-                covs.push(s.vp.coverage());
-                ratios.push(s.ipc() / base);
-            }
-            ConfidenceRow {
-                threshold,
-                accuracy: accs.iter().sum::<f64>() / accs.len() as f64,
-                coverage: covs.iter().sum::<f64>() / covs.len() as f64,
-                speedup: harmonic_mean(ratios),
-            }
-        })
+        .map(|threshold| ablate_confidence_point(source, threshold, params))
         .collect()
+}
+
+/// One threshold's confidence-ablation row (all benchmarks inside) — the
+/// independently schedulable cell.
+pub fn ablate_confidence_point(
+    source: &dyn TraceSource,
+    threshold: u8,
+    params: RunParams,
+) -> ConfidenceRow {
+    let mut accs = Vec::new();
+    let mut covs = Vec::new();
+    let mut ratios = Vec::new();
+    for bench in Benchmark::ALL {
+        let base = run_pipeline_on(source, bench, Box::new(NoVp), params).ipc();
+        let config = ConfidenceConfig {
+            threshold,
+            ..ConfidenceConfig::default()
+        };
+        let p = HgvqPredictor::with_config(
+            Capacity::Entries(8192),
+            32,
+            Capacity::Entries(8192),
+            config,
+            StridePredictor::new(Capacity::Entries(8192)),
+        );
+        let s = run_pipeline_on(
+            source,
+            bench,
+            Box::new(HgvqEngine::from_predictor(p)),
+            params,
+        );
+        accs.push(s.vp.gated_accuracy());
+        covs.push(s.vp.coverage());
+        ratios.push(s.ipc() / base);
+    }
+    ConfidenceRow {
+        threshold,
+        accuracy: accs.iter().sum::<f64>() / accs.len() as f64,
+        coverage: covs.iter().sum::<f64>() / covs.len() as f64,
+        speedup: harmonic_mean(ratios),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -420,48 +482,55 @@ pub fn prefetch(params: RunParams) -> Vec<PrefetchRow> {
 pub fn prefetch_on(source: &dyn TraceSource, params: RunParams) -> Vec<PrefetchRow> {
     Benchmark::ALL
         .into_iter()
-        .map(|bench| {
-            let cfg = PipelineConfig::r10k();
-            let base = run_pipeline_configured_on(source, bench, Box::new(NoVp), None, cfg, params);
-            let nl = run_pipeline_configured_on(
-                source,
-                bench,
-                Box::new(NoVp),
-                Some(Box::new(NextLinePrefetcher::new(cfg.dcache.line_bytes))),
-                cfg,
-                params,
-            );
-            let st = run_pipeline_configured_on(
-                source,
-                bench,
-                Box::new(NoVp),
-                Some(Box::new(StridePrefetcher::new())),
-                cfg,
-                params,
-            );
-            let gd = run_pipeline_configured_on(
-                source,
-                bench,
-                Box::new(NoVp),
-                Some(Box::new(GDiffPrefetcher::new())),
-                cfg,
-                params,
-            );
-            PrefetchRow {
-                bench,
-                base_miss_rate: base.dcache_miss_rate,
-                base_ipc: base.ipc(),
-                next_line: nl.ipc() / base.ipc(),
-                stride: st.ipc() / base.ipc(),
-                gdiff: gd.ipc() / base.ipc(),
-                gdiff_useful: if gd.prefetches_issued == 0 {
-                    0.0
-                } else {
-                    gd.prefetches_useful as f64 / gd.prefetches_issued as f64
-                },
-            }
-        })
+        .map(|bench| prefetch_bench(source, bench, params))
         .collect()
+}
+
+/// One benchmark's prefetch row — the independently schedulable cell.
+pub fn prefetch_bench(
+    source: &dyn TraceSource,
+    bench: Benchmark,
+    params: RunParams,
+) -> PrefetchRow {
+    let cfg = PipelineConfig::r10k();
+    let base = run_pipeline_configured_on(source, bench, Box::new(NoVp), None, cfg, params);
+    let nl = run_pipeline_configured_on(
+        source,
+        bench,
+        Box::new(NoVp),
+        Some(Box::new(NextLinePrefetcher::new(cfg.dcache.line_bytes))),
+        cfg,
+        params,
+    );
+    let st = run_pipeline_configured_on(
+        source,
+        bench,
+        Box::new(NoVp),
+        Some(Box::new(StridePrefetcher::new())),
+        cfg,
+        params,
+    );
+    let gd = run_pipeline_configured_on(
+        source,
+        bench,
+        Box::new(NoVp),
+        Some(Box::new(GDiffPrefetcher::new())),
+        cfg,
+        params,
+    );
+    PrefetchRow {
+        bench,
+        base_miss_rate: base.dcache_miss_rate,
+        base_ipc: base.ipc(),
+        next_line: nl.ipc() / base.ipc(),
+        stride: st.ipc() / base.ipc(),
+        gdiff: gd.ipc() / base.ipc(),
+        gdiff_useful: if gd.prefetches_issued == 0 {
+            0.0
+        } else {
+            gd.prefetches_useful as f64 / gd.prefetches_issued as f64
+        },
+    }
 }
 
 /// One benchmark's row of the oracle limit study.
@@ -487,19 +556,21 @@ pub fn limit(params: RunParams) -> Vec<LimitRow> {
 pub fn limit_on(source: &dyn TraceSource, params: RunParams) -> Vec<LimitRow> {
     Benchmark::ALL
         .into_iter()
-        .map(|bench| {
-            let base = run_pipeline_on(source, bench, Box::new(NoVp), params).ipc();
-            let gd =
-                run_pipeline_on(source, bench, Box::new(HgvqEngine::paper_default()), params).ipc();
-            let oracle = run_pipeline_on(source, bench, Box::new(OracleEngine), params).ipc();
-            LimitRow {
-                bench,
-                base_ipc: base,
-                gdiff: gd / base,
-                oracle: oracle / base,
-            }
-        })
+        .map(|bench| limit_bench(source, bench, params))
         .collect()
+}
+
+/// One benchmark's limit-study row — the independently schedulable cell.
+pub fn limit_bench(source: &dyn TraceSource, bench: Benchmark, params: RunParams) -> LimitRow {
+    let base = run_pipeline_on(source, bench, Box::new(NoVp), params).ipc();
+    let gd = run_pipeline_on(source, bench, Box::new(HgvqEngine::paper_default()), params).ipc();
+    let oracle = run_pipeline_on(source, bench, Box::new(OracleEngine), params).ipc();
+    LimitRow {
+        bench,
+        base_ipc: base,
+        gdiff: gd / base,
+        oracle: oracle / base,
+    }
 }
 
 /// One front-end-depth point of the deeper-pipeline ablation.
@@ -525,53 +596,66 @@ pub fn ablate_depth(params: RunParams) -> Vec<DepthRow> {
     ablate_depth_on(&SyntheticSource::new(params.seed), params)
 }
 
+/// The (front-end depth, redirect penalty) points swept by
+/// [`ablate_depth`].
+pub fn ablate_depth_points() -> [(u64, u64); 4] {
+    [(2, 3), (4, 6), (8, 10), (12, 16)]
+}
+
 /// [`ablate_depth`] against an explicit instruction origin.
 pub fn ablate_depth_on(source: &dyn TraceSource, params: RunParams) -> Vec<DepthRow> {
-    [(2u64, 3u64), (4, 6), (8, 10), (12, 16)]
+    ablate_depth_points()
         .into_iter()
-        .map(|(depth, redirect)| {
-            let config = PipelineConfig {
-                front_end_depth: depth,
-                redirect_penalty: redirect,
-                ..PipelineConfig::r10k()
-            };
-            let mut gd_ratios = Vec::new();
-            let mut st_ratios = Vec::new();
-            let mut delay = 0.0;
-            for bench in Benchmark::ALL {
-                let base =
-                    run_pipeline_configured_on(source, bench, Box::new(NoVp), None, config, params);
-                let gd = run_pipeline_configured_on(
-                    source,
-                    bench,
-                    Box::new(HgvqEngine::paper_default()),
-                    None,
-                    config,
-                    params,
-                );
-                let st = run_pipeline_configured_on(
-                    source,
-                    bench,
-                    Box::new(LocalEngine::stride_8k()),
-                    None,
-                    config,
-                    params,
-                );
-                gd_ratios.push(gd.ipc() / base.ipc());
-                st_ratios.push(st.ipc() / base.ipc());
-                if bench == Benchmark::Vortex {
-                    delay = base.delays.mean();
-                }
-            }
-            DepthRow {
-                depth,
-                redirect,
-                mean_delay: delay,
-                gdiff_speedup: harmonic_mean(gd_ratios),
-                stride_speedup: harmonic_mean(st_ratios),
-            }
-        })
+        .map(|point| ablate_depth_point(source, point, params))
         .collect()
+}
+
+/// One (depth, redirect) point of the depth ablation (all benchmarks
+/// inside) — the independently schedulable cell.
+pub fn ablate_depth_point(
+    source: &dyn TraceSource,
+    (depth, redirect): (u64, u64),
+    params: RunParams,
+) -> DepthRow {
+    let config = PipelineConfig {
+        front_end_depth: depth,
+        redirect_penalty: redirect,
+        ..PipelineConfig::r10k()
+    };
+    let mut gd_ratios = Vec::new();
+    let mut st_ratios = Vec::new();
+    let mut delay = 0.0;
+    for bench in Benchmark::ALL {
+        let base = run_pipeline_configured_on(source, bench, Box::new(NoVp), None, config, params);
+        let gd = run_pipeline_configured_on(
+            source,
+            bench,
+            Box::new(HgvqEngine::paper_default()),
+            None,
+            config,
+            params,
+        );
+        let st = run_pipeline_configured_on(
+            source,
+            bench,
+            Box::new(LocalEngine::stride_8k()),
+            None,
+            config,
+            params,
+        );
+        gd_ratios.push(gd.ipc() / base.ipc());
+        st_ratios.push(st.ipc() / base.ipc());
+        if bench == Benchmark::Vortex {
+            delay = base.delays.mean();
+        }
+    }
+    DepthRow {
+        depth,
+        redirect,
+        mean_delay: delay,
+        gdiff_speedup: harmonic_mean(gd_ratios),
+        stride_speedup: harmonic_mean(st_ratios),
+    }
 }
 
 #[cfg(test)]

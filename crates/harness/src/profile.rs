@@ -167,40 +167,43 @@ pub fn fig8(params: RunParams) -> Vec<Fig8Row> {
 pub fn fig8_on(source: &dyn TraceSource, params: RunParams) -> Vec<Fig8Row> {
     Benchmark::ALL
         .into_iter()
-        .map(|bench| {
-            let stride = run_profile_on(
-                source,
-                bench,
-                &mut StridePredictor::new(Capacity::Unbounded),
-                params,
-            );
-            let dfcm = run_profile_on(
-                source,
-                bench,
-                &mut DfcmPredictor::new(Capacity::Unbounded, 4, 16),
-                params,
-            );
-            let g8 = run_profile_on(
-                source,
-                bench,
-                &mut GDiffPredictor::new(Capacity::Unbounded, 8),
-                params,
-            );
-            let g32 = run_profile_on(
-                source,
-                bench,
-                &mut GDiffPredictor::new(Capacity::Unbounded, 32),
-                params,
-            );
-            Fig8Row {
-                bench,
-                stride: stride.accuracy(),
-                dfcm: dfcm.accuracy(),
-                gdiff_q8: g8.accuracy(),
-                gdiff_q32: g32.accuracy(),
-            }
-        })
+        .map(|bench| fig8_bench(source, bench, params))
         .collect()
+}
+
+/// One benchmark's Figure 8 row — the independently schedulable cell.
+pub fn fig8_bench(source: &dyn TraceSource, bench: Benchmark, params: RunParams) -> Fig8Row {
+    let stride = run_profile_on(
+        source,
+        bench,
+        &mut StridePredictor::new(Capacity::Unbounded),
+        params,
+    );
+    let dfcm = run_profile_on(
+        source,
+        bench,
+        &mut DfcmPredictor::new(Capacity::Unbounded, 4, 16),
+        params,
+    );
+    let g8 = run_profile_on(
+        source,
+        bench,
+        &mut GDiffPredictor::new(Capacity::Unbounded, 8),
+        params,
+    );
+    let g32 = run_profile_on(
+        source,
+        bench,
+        &mut GDiffPredictor::new(Capacity::Unbounded, 32),
+        params,
+    );
+    Fig8Row {
+        bench,
+        stride: stride.accuracy(),
+        dfcm: dfcm.accuracy(),
+        gdiff_q8: g8.accuracy(),
+        gdiff_q32: g32.accuracy(),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -245,32 +248,35 @@ pub fn fig9(params: RunParams) -> Vec<Fig9Row> {
 pub fn fig9_on(source: &dyn TraceSource, params: RunParams) -> Vec<Fig9Row> {
     Benchmark::ALL
         .into_iter()
-        .map(|bench| {
-            let mut conflict_rates = Vec::new();
-            let mut accuracy_unlimited = 0.0;
-            let mut accuracy_8k = 0.0;
-            for size in fig9_sizes() {
-                let cap = match size {
-                    None => Capacity::Unbounded,
-                    Some(n) => Capacity::Entries(n),
-                };
-                let mut p = GDiffPredictor::new(cap, 8);
-                let stats = run_profile_on(source, bench, &mut p, params);
-                conflict_rates.push(p.conflict_rate());
-                if size.is_none() {
-                    accuracy_unlimited = stats.accuracy();
-                } else if size == Some(8 * 1024) {
-                    accuracy_8k = stats.accuracy();
-                }
-            }
-            Fig9Row {
-                bench,
-                conflict_rates,
-                accuracy_unlimited,
-                accuracy_8k,
-            }
-        })
+        .map(|bench| fig9_bench(source, bench, params))
         .collect()
+}
+
+/// One benchmark's Figure 9 row — the independently schedulable cell.
+pub fn fig9_bench(source: &dyn TraceSource, bench: Benchmark, params: RunParams) -> Fig9Row {
+    let mut conflict_rates = Vec::new();
+    let mut accuracy_unlimited = 0.0;
+    let mut accuracy_8k = 0.0;
+    for size in fig9_sizes() {
+        let cap = match size {
+            None => Capacity::Unbounded,
+            Some(n) => Capacity::Entries(n),
+        };
+        let mut p = GDiffPredictor::new(cap, 8);
+        let stats = run_profile_on(source, bench, &mut p, params);
+        conflict_rates.push(p.conflict_rate());
+        if size.is_none() {
+            accuracy_unlimited = stats.accuracy();
+        } else if size == Some(8 * 1024) {
+            accuracy_8k = stats.accuracy();
+        }
+    }
+    Fig9Row {
+        bench,
+        conflict_rates,
+        accuracy_unlimited,
+        accuracy_8k,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -300,17 +306,20 @@ pub fn fig10(params: RunParams) -> Vec<Fig10Row> {
 pub fn fig10_on(source: &dyn TraceSource, params: RunParams) -> Vec<Fig10Row> {
     Benchmark::ALL
         .into_iter()
-        .map(|bench| {
-            let accuracy = fig10_delays()
-                .into_iter()
-                .map(|t| {
-                    let mut p = GDiffPredictor::with_delay(Capacity::Unbounded, 8, t);
-                    run_profile_on(source, bench, &mut p, params).accuracy()
-                })
-                .collect();
-            Fig10Row { bench, accuracy }
-        })
+        .map(|bench| fig10_bench(source, bench, params))
         .collect()
+}
+
+/// One benchmark's Figure 10 row — the independently schedulable cell.
+pub fn fig10_bench(source: &dyn TraceSource, bench: Benchmark, params: RunParams) -> Fig10Row {
+    let accuracy = fig10_delays()
+        .into_iter()
+        .map(|t| {
+            let mut p = GDiffPredictor::with_delay(Capacity::Unbounded, 8, t);
+            run_profile_on(source, bench, &mut p, params).accuracy()
+        })
+        .collect();
+    Fig10Row { bench, accuracy }
 }
 
 // ---------------------------------------------------------------------
@@ -341,17 +350,25 @@ pub fn ablate_queue(params: RunParams) -> Vec<QueueRow> {
 pub fn ablate_queue_on(source: &dyn TraceSource, params: RunParams) -> Vec<QueueRow> {
     Benchmark::ALL
         .into_iter()
-        .map(|bench| {
-            let accuracy = ablate_queue_orders()
-                .into_iter()
-                .map(|n| {
-                    let mut p = GDiffPredictor::new(Capacity::Unbounded, n);
-                    run_profile_on(source, bench, &mut p, params).accuracy()
-                })
-                .collect();
-            QueueRow { bench, accuracy }
-        })
+        .map(|bench| ablate_queue_bench(source, bench, params))
         .collect()
+}
+
+/// One benchmark's queue-order ablation row — the independently
+/// schedulable cell.
+pub fn ablate_queue_bench(
+    source: &dyn TraceSource,
+    bench: Benchmark,
+    params: RunParams,
+) -> QueueRow {
+    let accuracy = ablate_queue_orders()
+        .into_iter()
+        .map(|n| {
+            let mut p = GDiffPredictor::new(Capacity::Unbounded, n);
+            run_profile_on(source, bench, &mut p, params).accuracy()
+        })
+        .collect();
+    QueueRow { bench, accuracy }
 }
 
 #[cfg(test)]

@@ -1,0 +1,343 @@
+//! A std-only parallel scheduler for experiment cells.
+//!
+//! Every multi-benchmark experiment decomposes into independent
+//! *(experiment, cell)* units of work — typically one benchmark, or one
+//! sweep point — that share nothing but a read-only [`TraceSource`].
+//! The scheduler fans those cells out over `std::thread::scope` workers
+//! and reassembles the results so that **output is byte-identical to a
+//! sequential run regardless of worker count or completion order**:
+//!
+//! * each cell runs against a private [`obs::Registry`]; the per-cell
+//!   registries are merged into the master registry in *cell order*, never
+//!   completion order, so merged counters/histograms (and the JSON they
+//!   export to) are deterministic;
+//! * cell outputs are buffered and experiments are assembled and emitted
+//!   strictly in plan order — a later experiment finishing first waits.
+//!
+//! Only wall-clock timings (the report's `timings` section, the stderr
+//! `[exp took Ns]` lines) vary between runs; tables and the `experiments`
+//! report section do not.
+//!
+//! [`TraceSource`]: workloads::TraceSource
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+use obs::{JsonValue, Registry};
+
+/// What a cell returns: one experiment-specific row, type-erased so the
+/// scheduler stays generic. The owning plan's `assemble` downcasts it.
+pub type CellOutput = Box<dyn Any + Send>;
+
+type CellFn<'a> = Box<dyn FnOnce(&mut Registry) -> CellOutput + Send + 'a>;
+type AssembleFn<'a> = Box<dyn FnOnce(Vec<CellOutput>) -> (String, JsonValue) + 'a>;
+
+/// One independent unit of work: a label (for metrics) and the closure
+/// that computes the cell against a worker-private registry.
+pub struct Cell<'a> {
+    label: String,
+    run: CellFn<'a>,
+}
+
+impl std::fmt::Debug for Cell<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cell").field("label", &self.label).finish()
+    }
+}
+
+impl<'a> Cell<'a> {
+    /// A cell computing `f`. The closure's return value is buffered until
+    /// the owning experiment's `assemble` runs.
+    pub fn new<T: Send + 'static>(
+        label: impl Into<String>,
+        f: impl FnOnce(&mut Registry) -> T + Send + 'a,
+    ) -> Self {
+        Cell {
+            label: label.into(),
+            run: Box::new(move |reg| Box::new(f(reg)) as CellOutput),
+        }
+    }
+}
+
+/// One experiment: its independent cells plus the function that turns the
+/// buffered cell outputs (in cell order) into the rendered table text and
+/// the JSON report entry.
+pub struct ExperimentPlan<'a> {
+    /// Experiment name (the report key and the CLI name).
+    pub name: String,
+    cells: Vec<Cell<'a>>,
+    assemble: AssembleFn<'a>,
+}
+
+impl std::fmt::Debug for ExperimentPlan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentPlan")
+            .field("name", &self.name)
+            .field("cells", &self.cells.len())
+            .finish()
+    }
+}
+
+impl<'a> ExperimentPlan<'a> {
+    /// A plan from cells and an assembly function.
+    pub fn new(
+        name: impl Into<String>,
+        cells: Vec<Cell<'a>>,
+        assemble: impl FnOnce(Vec<CellOutput>) -> (String, JsonValue) + 'a,
+    ) -> Self {
+        ExperimentPlan {
+            name: name.into(),
+            cells,
+            assemble: Box::new(assemble),
+        }
+    }
+
+    /// How many cells this plan fans out.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// One finished experiment, handed to the caller in plan order.
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    /// Experiment name.
+    pub name: String,
+    /// The rendered table text, exactly as a sequential run prints it.
+    pub text: String,
+    /// The `experiments.<name>` report entry.
+    pub json: JsonValue,
+    /// Summed busy time of the experiment's cells (CPU work, not wall
+    /// time — at `jobs > 1` cells overlap).
+    pub busy: Duration,
+}
+
+/// The number of workers to use when `--jobs` is not given.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A completed cell waiting for its experiment to assemble.
+struct DoneCell {
+    out: CellOutput,
+    registry: Registry,
+    busy: Duration,
+}
+
+/// In-order completion tracker: buffers per-cell results and releases
+/// experiments strictly in plan order.
+struct Collector<'a> {
+    names: Vec<String>,
+    assemble: Vec<Option<AssembleFn<'a>>>,
+    done: Vec<Vec<Option<DoneCell>>>,
+    next_emit: usize,
+}
+
+impl<'a> Collector<'a> {
+    /// Records one finished cell, then assembles and emits every experiment
+    /// that became ready, in plan order. Cell registries merge into
+    /// `master` in cell order — completion order never matters.
+    fn complete(
+        &mut self,
+        exp: usize,
+        cell: usize,
+        done: DoneCell,
+        master: &mut Registry,
+        emit: &mut dyn FnMut(ExperimentOutput),
+    ) {
+        self.done[exp][cell] = Some(done);
+        while self.next_emit < self.names.len()
+            && self.done[self.next_emit].iter().all(Option::is_some)
+        {
+            let e = self.next_emit;
+            let cells: Vec<DoneCell> = std::mem::take(&mut self.done[e])
+                .into_iter()
+                .map(|c| c.expect("all cells done"))
+                .collect();
+            let mut busy = Duration::ZERO;
+            let mut outputs = Vec::with_capacity(cells.len());
+            for c in cells {
+                master.merge(&c.registry);
+                busy += c.busy;
+                outputs.push(c.out);
+            }
+            let (text, json) = (self.assemble[e].take().expect("assemble once"))(outputs);
+            obs::span::record(format!("experiment.{}", self.names[e]), busy);
+            emit(ExperimentOutput {
+                name: self.names[e].clone(),
+                text,
+                json,
+                busy,
+            });
+            self.next_emit += 1;
+        }
+    }
+}
+
+/// Runs every plan's cells on up to `jobs` workers and calls `emit` once
+/// per experiment, in plan order, with output identical to `jobs == 1`.
+///
+/// Worker-private registries merge into `master` in cell order. With
+/// `jobs <= 1` no thread is spawned and cells run inline in order — the
+/// exact pre-scheduler execution shape (`replay` forces this path).
+///
+/// Returns the total number of cells executed.
+pub fn run_plans<'a>(
+    plans: Vec<ExperimentPlan<'a>>,
+    jobs: usize,
+    master: &mut Registry,
+    mut emit: impl FnMut(ExperimentOutput),
+) -> usize {
+    let mut collector = Collector {
+        names: Vec::with_capacity(plans.len()),
+        assemble: Vec::with_capacity(plans.len()),
+        done: Vec::with_capacity(plans.len()),
+        next_emit: 0,
+    };
+    let mut queue: VecDeque<(usize, usize, String, CellFn<'a>)> = VecDeque::new();
+    for (ei, plan) in plans.into_iter().enumerate() {
+        collector.names.push(plan.name);
+        collector.assemble.push(Some(plan.assemble));
+        collector
+            .done
+            .push(plan.cells.iter().map(|_| None).collect());
+        for (ci, cell) in plan.cells.into_iter().enumerate() {
+            queue.push_back((ei, ci, cell.label, cell.run));
+        }
+    }
+    let total_cells = queue.len();
+    let workers = jobs.max(1).min(total_cells.max(1));
+
+    if workers <= 1 {
+        while let Some((ei, ci, label, run)) = queue.pop_front() {
+            let done = run_cell(label, run);
+            collector.complete(ei, ci, done, master, &mut emit);
+        }
+        return total_cells;
+    }
+
+    let queue = Mutex::new(queue);
+    let (tx, rx) = mpsc::channel::<(usize, usize, DoneCell)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            s.spawn(move || loop {
+                let job = queue.lock().unwrap().pop_front();
+                let Some((ei, ci, label, run)) = job else {
+                    break;
+                };
+                if tx.send((ei, ci, run_cell(label, run))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // The main thread buffers results and emits in plan order while
+        // workers keep draining the queue.
+        for (ei, ci, done) in rx {
+            collector.complete(ei, ci, done, master, &mut emit);
+        }
+    });
+    total_cells
+}
+
+fn run_cell(label: String, run: CellFn<'_>) -> DoneCell {
+    let mut registry = Registry::new();
+    let cells = registry.counter("sched.cells");
+    registry.inc(cells);
+    let per_cell = registry.counter(&format!("sched.cell.{label}"));
+    registry.inc(per_cell);
+    let t0 = Instant::now();
+    let out = run(&mut registry);
+    DoneCell {
+        out,
+        registry,
+        busy: t0.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A plan whose cells return `(tag, value)` pairs and whose assembly
+    /// concatenates them — enough structure to detect any reordering.
+    fn plan(name: &str, values: Vec<u64>, delay_ms: u64) -> ExperimentPlan<'static> {
+        let cells = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                Cell::new(format!("{name}/{i}"), move |reg: &mut Registry| {
+                    if delay_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(delay_ms));
+                    }
+                    let c = reg.counter("test.total");
+                    reg.add(c, v);
+                    v
+                })
+            })
+            .collect();
+        ExperimentPlan::new(name, cells, |outs| {
+            let vals: Vec<String> = outs
+                .into_iter()
+                .map(|o| o.downcast::<u64>().unwrap().to_string())
+                .collect();
+            let text = format!("{}\n", vals.join(","));
+            (text, JsonValue::from(vals.join(",")))
+        })
+    }
+
+    fn run(jobs: usize) -> (Vec<String>, String, Registry) {
+        let plans = vec![
+            // The first plan sleeps so later plans finish first under
+            // parallel execution; emission order must not change.
+            plan("slow", vec![1, 2, 3], 20),
+            plan("mid", vec![10, 20], 5),
+            plan("fast", vec![100, 200, 300, 400], 0),
+        ];
+        let mut master = Registry::new();
+        let mut names = Vec::new();
+        let mut text = String::new();
+        let cells = run_plans(plans, jobs, &mut master, |out| {
+            names.push(out.name);
+            text.push_str(&out.text);
+        });
+        assert_eq!(cells, 9);
+        (names, text, master)
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_sequential() {
+        let (names1, text1, reg1) = run(1);
+        assert_eq!(names1, vec!["slow", "mid", "fast"]);
+        assert_eq!(text1, "1,2,3\n10,20\n100,200,300,400\n");
+        for jobs in [2, 4, 8] {
+            let (names, text, reg) = run(jobs);
+            assert_eq!(names, names1, "emission order at jobs={jobs}");
+            assert_eq!(text, text1, "text at jobs={jobs}");
+            assert_eq!(
+                reg.to_json().to_json(),
+                reg1.to_json().to_json(),
+                "merged registry at jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_registry_sums_cell_counters() {
+        let (_, _, reg) = run(4);
+        assert_eq!(reg.counter_by_name("test.total"), Some(1036));
+        assert_eq!(reg.counter_by_name("sched.cells"), Some(9));
+        assert_eq!(reg.counter_by_name("sched.cell.mid/1"), Some(1));
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -39,21 +39,28 @@ pub struct SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let elapsed = self.start.elapsed();
-        let mut spans = SPANS.lock().unwrap();
-        match spans.iter_mut().find(|(n, _)| *n == self.name) {
-            Some((_, s)) => {
-                s.count += 1;
-                s.total += elapsed;
-            }
-            None => spans.push((
-                std::mem::take(&mut self.name),
-                SpanStats {
-                    count: 1,
-                    total: elapsed,
-                },
-            )),
+        record(std::mem::take(&mut self.name), self.start.elapsed());
+    }
+}
+
+/// Folds an already-measured duration into the global table under `name` —
+/// for callers (like the parallel scheduler) that aggregate time across
+/// threads themselves and cannot wrap the work in a single guard.
+pub fn record(name: impl Into<String>, elapsed: Duration) {
+    let name = name.into();
+    let mut spans = SPANS.lock().unwrap();
+    match spans.iter_mut().find(|(n, _)| *n == name) {
+        Some((_, s)) => {
+            s.count += 1;
+            s.total += elapsed;
         }
+        None => spans.push((
+            name,
+            SpanStats {
+                count: 1,
+                total: elapsed,
+            },
+        )),
     }
 }
 

@@ -1,0 +1,128 @@
+//! Merge invariants of the metrics registry.
+//!
+//! The parallel scheduler folds one worker-private registry per cell into
+//! the master registry, so correctness of every merged report rests on
+//! these properties: counters are associative, histogram merge is exact
+//! bucket arithmetic (percentiles computed after a merge equal percentiles
+//! of the combined observation stream), and merging N shards one at a time
+//! equals recording everything into a single registry.
+
+use obs::{Histogram, Registry};
+use proptest::prelude::*;
+
+#[test]
+fn percentiles_are_stable_under_merge() {
+    // Two disjoint halves of one observation stream: merging the halves
+    // must give the same percentile buckets as recording the stream whole.
+    let stream: Vec<u64> = (0..500).map(|i| (i * 7 + 3) % 40).collect();
+    let mut whole = Histogram::new(63);
+    let mut left = Histogram::new(63);
+    let mut right = Histogram::new(63);
+    for (i, &v) in stream.iter().enumerate() {
+        whole.record(v);
+        if i % 2 == 0 {
+            left.record(v);
+        } else {
+            right.record(v);
+        }
+    }
+    left.merge(&right);
+    assert_eq!(left.total(), whole.total());
+    for q in [0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(left.percentile(q), whole.percentile(q), "q={q}");
+    }
+    assert!((left.mean() - whole.mean()).abs() < 1e-12);
+}
+
+#[test]
+fn counter_merge_is_associative() {
+    let shard = |n: u64| {
+        let mut r = Registry::new();
+        let c = r.counter("events");
+        r.add(c, n);
+        r
+    };
+    // (a + b) + c == a + (b + c)
+    let mut left = shard(3);
+    left.merge(&shard(5));
+    left.merge(&shard(11));
+    let mut bc = shard(5);
+    bc.merge(&shard(11));
+    let mut right = shard(3);
+    right.merge(&bc);
+    assert_eq!(left.counter_by_name("events"), Some(19));
+    assert_eq!(
+        left.counter_by_name("events"),
+        right.counter_by_name("events")
+    );
+    assert_eq!(left.to_json().to_json(), right.to_json().to_json());
+}
+
+proptest! {
+    /// Merging N shards into an empty master equals recording every
+    /// observation into one combined registry directly.
+    #[test]
+    fn merging_shards_equals_one_combined_registry(
+        shards in prop::collection::vec(
+            prop::collection::vec(any::<u64>(), 0..50),
+            1..8,
+        ),
+    ) {
+        let mut combined = Registry::new();
+        let cc = combined.counter("obs.count");
+        let ch = combined.histogram("obs.dist", 31);
+        let mut master = Registry::new();
+        for values in &shards {
+            let mut shard = Registry::new();
+            let sc = shard.counter("obs.count");
+            let sh = shard.histogram("obs.dist", 31);
+            for &v in values {
+                shard.inc(sc);
+                shard.observe(sh, v % 64);
+                combined.inc(cc);
+                combined.observe(ch, v % 64);
+            }
+            master.merge(&shard);
+        }
+        let total: usize = shards.iter().map(Vec::len).sum();
+        prop_assert_eq!(master.counter_by_name("obs.count"), Some(total as u64));
+        let mh = master.histogram_by_name("obs.dist").unwrap();
+        let chist = combined.histogram_by_name("obs.dist").unwrap();
+        prop_assert_eq!(mh.total(), chist.total());
+        for d in 0..32 {
+            prop_assert_eq!(mh.count(d), chist.count(d), "bucket {}", d);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(mh.percentile(q), chist.percentile(q));
+        }
+        // The exported JSON (what reports serialize) agrees too.
+        prop_assert_eq!(master.to_json().to_json(), combined.to_json().to_json());
+    }
+
+    /// Merge order between shards never changes merged counters or
+    /// histograms with identical metric sets (the scheduler merges in cell
+    /// order, but the totals must not depend on it).
+    #[test]
+    fn counter_totals_ignore_merge_order(
+        a in 0u64..1000, b in 0u64..1000, c in 0u64..1000,
+    ) {
+        let shard = |n: u64| {
+            let mut r = Registry::new();
+            let id = r.counter("n");
+            r.add(id, n);
+            let h = r.histogram("h", 7);
+            r.observe(h, n % 8);
+            r
+        };
+        let mut fwd = Registry::new();
+        fwd.merge(&shard(a));
+        fwd.merge(&shard(b));
+        fwd.merge(&shard(c));
+        let mut rev = Registry::new();
+        rev.merge(&shard(c));
+        rev.merge(&shard(b));
+        rev.merge(&shard(a));
+        prop_assert_eq!(fwd.counter_by_name("n"), Some(a + b + c));
+        prop_assert_eq!(fwd.to_json().to_json(), rev.to_json().to_json());
+    }
+}

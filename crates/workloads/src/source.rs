@@ -20,7 +20,12 @@ use crate::{Benchmark, DynInst};
 /// (captured traces); a finite stream that is shorter than an experiment
 /// needs simply ends early, and the experiment's driver decides whether
 /// that is an error.
-pub trait TraceSource {
+///
+/// Sources are `Send + Sync` so one source can feed experiment cells
+/// running on several scheduler threads at once; each call to `stream`
+/// opens an independent iterator, so concurrent streams never share
+/// cursor state (the iterators themselves stay thread-local).
+pub trait TraceSource: Send + Sync {
     /// A short human-readable description of the origin (for reports and
     /// error messages), e.g. `"synthetic (seed 42)"` or a file path.
     fn describe(&self) -> String;

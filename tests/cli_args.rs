@@ -1,0 +1,90 @@
+//! Argument-parsing contract of the `harness` binary: unknown flags and
+//! invalid values are rejected with exit code 2 and a usage message, never
+//! silently ignored.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_harness"))
+        .args(args)
+        .output()
+        .expect("harness runs")
+}
+
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = run(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} must exit 2, stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "{args:?} stderr must mention '{needle}': {stderr}"
+    );
+    assert!(stderr.contains("usage:"), "{args:?} must print usage");
+}
+
+#[test]
+fn unknown_long_flag_is_rejected() {
+    assert_usage_error(&["--frobnicate", "fig1"], "unknown option: --frobnicate");
+}
+
+#[test]
+fn unknown_short_flag_is_rejected() {
+    assert_usage_error(&["-x", "fig1"], "unknown option: -x");
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    assert_usage_error(&["fig99"], "unknown experiment: fig99");
+}
+
+#[test]
+fn jobs_zero_is_rejected() {
+    assert_usage_error(&["--jobs", "0", "fig1"], "at least 1");
+}
+
+#[test]
+fn jobs_non_numeric_is_rejected() {
+    assert_usage_error(&["--jobs", "many", "fig1"], "invalid value 'many'");
+    assert_usage_error(&["-jfour", "fig1"], "invalid value 'four'");
+}
+
+#[test]
+fn missing_flag_value_is_rejected() {
+    assert_usage_error(&["fig1", "--scale"], "--scale needs a value");
+    assert_usage_error(&["fig1", "--jobs"], "needs a value");
+}
+
+#[test]
+fn no_experiment_is_rejected() {
+    assert_usage_error(&[], "no experiment named");
+}
+
+#[test]
+fn unknown_subcommand_flags_are_rejected() {
+    assert_usage_error(&["record", "-q", "fig1"], "unknown record option: -q");
+    assert_usage_error(&["replay", "-q", "x.bin"], "unknown replay option: -q");
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn attached_jobs_flag_parses() {
+    // -j1 on a tiny experiment: accepted and runs to completion.
+    let out = run(&["-j1", "--scale", "0.01", "fig1"]);
+    assert!(
+        out.status.success(),
+        "-j1 must be accepted: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Figure 1"));
+}

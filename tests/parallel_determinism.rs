@@ -1,0 +1,68 @@
+//! The scheduler's core guarantee, tested end to end through the binary:
+//! `harness all` produces byte-identical tables and an identical
+//! `experiments` report section for every worker count.
+//!
+//! Only wall-clock artifacts (stderr timing lines, the report's `timings`
+//! and `scheduler` sections) may differ between worker counts.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gdiff-par-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// Runs `harness all` at a small scale with `jobs` workers; returns
+/// (stdout bytes, the report's `experiments` subtree as JSON text).
+fn run_all(jobs: usize) -> (Vec<u8>, String) {
+    let json = tmp_path(&format!("j{jobs}.json"));
+    let out = Command::new(env!("CARGO_BIN_EXE_harness"))
+        .args([
+            "all",
+            "--scale",
+            "0.01",
+            "--seed",
+            "7",
+            "--jobs",
+            &jobs.to_string(),
+            "--json",
+        ])
+        .arg(&json)
+        .output()
+        .expect("harness runs");
+    assert!(
+        out.status.success(),
+        "jobs={jobs} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = std::fs::read_to_string(&json).expect("report written");
+    std::fs::remove_file(&json).ok();
+    let parsed = obs::JsonValue::parse(&report).expect("report parses");
+    let experiments = parsed.get("experiments").expect("experiments section");
+    // Sanity: the scheduler section reflects the requested worker count.
+    let sched_jobs = parsed
+        .path("scheduler.jobs")
+        .and_then(|v| v.as_f64())
+        .expect("scheduler.jobs");
+    assert_eq!(sched_jobs as usize, jobs);
+    (out.stdout, experiments.to_json())
+}
+
+#[test]
+fn all_experiments_are_byte_identical_for_any_worker_count() {
+    let (stdout1, exps1) = run_all(1);
+    assert!(!stdout1.is_empty(), "tables go to stdout");
+    for jobs in [2, 4] {
+        let (stdout, exps) = run_all(jobs);
+        assert_eq!(
+            stdout, stdout1,
+            "stdout must be byte-identical at jobs={jobs}"
+        );
+        assert_eq!(
+            exps, exps1,
+            "experiments report must be identical at jobs={jobs}"
+        );
+    }
+}
