@@ -23,6 +23,14 @@ pub struct HgvqToken {
     pub prediction: Option<GatedPrediction>,
     /// The local filler prediction pushed into the queue, if any.
     pub filler: Option<u64>,
+    /// Provenance: the selected distance `k` at dispatch, if the table
+    /// had learned one (reported even when the slot at `k` was empty).
+    pub chosen_k: Option<u16>,
+    /// Provenance: the stored difference at `chosen_k`.
+    pub diff: Option<i64>,
+    /// Provenance: values (real or speculative) in the queue at
+    /// dispatch, clamped to the queue order.
+    pub fill_depth: u64,
 }
 
 /// The §5 design: gDiff over a **hybrid global value queue**.
@@ -138,7 +146,7 @@ impl<F: ValuePredictor> HgvqPredictor<F> {
             None => self.queue.push_empty(),
         };
         let queue = &self.queue;
-        let value = self.core.predict_with(pc, |k| queue.back_from(slot, k));
+        let (value, tap) = self.core.predict_with_tap(pc, |k| queue.back_from(slot, k));
         let prediction = value.map(|value| GatedPrediction {
             value,
             confident: self.confidence.is_confident(pc),
@@ -147,6 +155,9 @@ impl<F: ValuePredictor> HgvqPredictor<F> {
             slot,
             prediction,
             filler,
+            chosen_k: tap.map(|(k, _)| k),
+            diff: tap.map(|(_, d)| d),
+            fill_depth: queue.pushed().min(queue.order() as u64),
         }
     }
 

@@ -13,6 +13,14 @@ use crate::{GDiffCore, GlobalValueQueue};
 pub struct SgvqToken {
     /// The gated prediction made at dispatch, if any.
     pub prediction: Option<GatedPrediction>,
+    /// Provenance: the selected distance `k` at dispatch, if the table
+    /// had learned one (reported even when the slot at `k` was empty).
+    pub chosen_k: Option<u16>,
+    /// Provenance: the stored difference at `chosen_k`.
+    pub diff: Option<i64>,
+    /// Provenance: resolved values in the queue at dispatch, clamped to
+    /// the queue order.
+    pub fill_depth: u64,
 }
 
 /// The §4 design: gDiff fed by a **speculative global value queue** that is
@@ -78,12 +86,17 @@ impl SgvqPredictor {
     /// Dispatch-phase prediction against the current speculative queue.
     pub fn dispatch(&mut self, pc: u64) -> SgvqToken {
         let queue = &self.queue;
-        let value = self.core.predict_with(pc, |k| queue.back(k));
+        let (value, tap) = self.core.predict_with_tap(pc, |k| queue.back(k));
         let prediction = value.map(|value| GatedPrediction {
             value,
             confident: self.confidence.is_confident(pc),
         });
-        SgvqToken { prediction }
+        SgvqToken {
+            prediction,
+            chosen_k: tap.map(|(k, _)| k),
+            diff: tap.map(|(_, d)| d),
+            fill_depth: queue.pushed().min(queue.order() as u64),
+        }
     }
 
     /// Completion-phase update: trains the table against the queue as it

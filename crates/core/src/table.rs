@@ -115,11 +115,28 @@ impl GDiffCore {
         pc: u64,
         value_at: impl Fn(usize) -> Option<u64>,
     ) -> Option<u64> {
+        self.predict_with_tap(pc, value_at).0
+    }
+
+    /// [`Self::predict_with`] plus the attempt's provenance: the selected
+    /// distance `k` and its stored difference, reported even when the
+    /// queue slot at `k` is unavailable and no prediction results. The
+    /// tap reuses the single table lookup, so `predict_with` stays a
+    /// zero-cost wrapper.
+    pub fn predict_with_tap(
+        &mut self,
+        pc: u64,
+        value_at: impl Fn(usize) -> Option<u64>,
+    ) -> (Option<u64>, Option<(u16, i64)>) {
         let e = self.table.entry_shared(pc);
-        let k = e.distance.map(usize::from)?;
-        let diff = *e.diffs.get(k - 1)?;
-        let base = value_at(k)?;
-        Some(base.wrapping_add(diff as u64))
+        let Some(k) = e.distance else {
+            return (None, None);
+        };
+        let Some(&diff) = e.diffs.get(usize::from(k) - 1) else {
+            return (None, None);
+        };
+        let value = value_at(usize::from(k)).map(|base| base.wrapping_add(diff as u64));
+        (value, Some((k, diff)))
     }
 
     /// Trains the table with `pc`'s actual result, reading the queue

@@ -31,6 +31,7 @@
 
 pub mod addr;
 pub mod cells;
+pub mod explain;
 pub mod pipe;
 pub mod profile;
 pub mod record;
@@ -39,6 +40,7 @@ pub mod report;
 pub mod sched;
 
 pub use addr::{fig18, fig18_bench, fig18_on, Fig18Row};
+pub use explain::{explain_cell, explain_plan, ExplainCell, EXPLAIN_EXPERIMENTS};
 pub use pipe::{
     ablate_confidence, ablate_confidence_on, ablate_confidence_point, ablate_confidence_thresholds,
     ablate_depth, ablate_depth_on, ablate_depth_point, ablate_depth_points, ablate_filler,

@@ -80,7 +80,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         match a.as_str() {
             "--scale" => opts.scale = parse_value(&a, it.next())?,
             "--seed" => opts.seed = parse_value(&a, it.next())?,
-            "--trace-last" => opts.trace_last = Some(parse_value(&a, it.next())?),
+            "--trace-last" => opts.trace_last = Some(parse_trace_last(&a, it.next())?),
             "--jobs" | "-j" => opts.jobs = Some(parse_jobs(&a, it.next())?),
             "--json" => {
                 opts.json = Some(
@@ -115,6 +115,14 @@ fn parse_jobs(flag: &str, value: Option<String>) -> Result<usize, String> {
     Ok(n)
 }
 
+fn parse_trace_last(flag: &str, value: Option<String>) -> Result<usize, String> {
+    let n: usize = parse_value(flag, value)?;
+    if n == 0 {
+        return Err(format!("{flag}: event count must be at least 1"));
+    }
+    Ok(n)
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -129,6 +137,10 @@ fn main() {
         Some("convert") => {
             args.remove(0);
             main_convert(args)
+        }
+        Some("explain") => {
+            args.remove(0);
+            main_explain(args)
         }
         _ => main_run(args),
     }
@@ -358,7 +370,7 @@ fn main_replay(args: Vec<String>) {
                     None => usage_error("--json needs a value (a path or -)"),
                 })
             }
-            "--trace-last" => match parse_value(&a, it.next()) {
+            "--trace-last" => match parse_trace_last(&a, it.next()) {
                 Ok(v) => trace_last = Some(v),
                 Err(m) => usage_error(&m),
             },
@@ -409,6 +421,106 @@ fn main_replay(args: Vec<String>) {
         trace_last,
         sections: vec![("tracefile".to_string(), registry.to_json())],
     });
+}
+
+fn main_explain(args: Vec<String>) {
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
+    let mut jobs: Option<usize> = None;
+    let mut json: Option<String> = None;
+    let mut top = harness::explain::DEFAULT_TOP;
+    let mut dump = false;
+    let mut exp: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => match parse_value(&a, it.next()) {
+                Ok(v) => scale = v,
+                Err(m) => usage_error(&m),
+            },
+            "--seed" => match parse_value(&a, it.next()) {
+                Ok(v) => seed = v,
+                Err(m) => usage_error(&m),
+            },
+            "--top" => match parse_value(&a, it.next()) {
+                Ok(v) => top = v,
+                Err(m) => usage_error(&m),
+            },
+            "--jobs" | "-j" => match parse_jobs(&a, it.next()) {
+                Ok(v) => jobs = Some(v),
+                Err(m) => usage_error(&m),
+            },
+            "--json" => {
+                json = Some(match it.next() {
+                    Some(v) => v,
+                    None => usage_error("--json needs a value (a path or -)"),
+                })
+            }
+            "--dump-provenance" => dump = true,
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other if other.starts_with("-j") && other.len() > 2 => {
+                match parse_jobs("-j", Some(other[2..].to_string())) {
+                    Ok(v) => jobs = Some(v),
+                    Err(m) => usage_error(&m),
+                }
+            }
+            other if other.starts_with('-') => {
+                usage_error(&format!("unknown explain option: {other}"))
+            }
+            other if exp.is_none() => exp = Some(other.to_string()),
+            other => usage_error(&format!("unexpected argument: {other}")),
+        }
+    }
+    let Some(exp) = exp else {
+        usage_error("explain needs an experiment (fig13 or fig16)");
+    };
+    if json.as_deref() == Some("-") {
+        TABLES_TO_STDERR.store(true, Ordering::Relaxed);
+    }
+
+    let mut params = RunParams::pipeline_default().scaled(scale);
+    params.seed = seed;
+    let source = SyntheticSource::new(seed);
+    let Some(plan) = harness::explain_plan(&exp, &source, params, top, dump) else {
+        usage_error(&format!(
+            "explain supports {}, not {exp}",
+            harness::EXPLAIN_EXPERIMENTS.join(" and ")
+        ));
+    };
+
+    let mut master = Registry::new();
+    let mut section: Option<JsonValue> = None;
+    run_plans(
+        vec![plan],
+        jobs.unwrap_or_else(default_jobs),
+        &mut master,
+        |res| {
+            out!("{}", res.text);
+            eprintln!("[{} took {:.1}s]\n", res.name, res.busy.as_secs_f64());
+            section = Some(res.json);
+        },
+    );
+
+    if let Some(dest) = &json {
+        // The explain report carries no timing/scheduler sections by
+        // design: every byte is worker-count invariant.
+        let root = JsonValue::object()
+            .with("schema", harness::explain::SCHEMA)
+            .with("experiment", exp)
+            .with("seed", seed)
+            .with("scale", scale)
+            .with("explain", section.take().expect("one plan emitted"));
+        let text = root.to_json_pretty();
+        if dest == "-" {
+            println!("{text}");
+        } else if let Err(e) = std::fs::write(dest, text + "\n") {
+            eprintln!("error: cannot write {dest}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main_convert(args: Vec<String>) {
@@ -471,6 +583,8 @@ fn print_usage() {
          \x20      harness record --out FILE [--scale F] [--seed N] <experiment>...\n\
          \x20      harness replay FILE [--json PATH|-] [--trace-last N]\n\
          \x20      harness convert IN OUT\n\
+         \x20      harness explain <fig13|fig16> [--scale F] [--seed N] [--jobs N|-jN]\n\
+         \x20              [--json PATH|-] [--top N] [--dump-provenance]\n\
          experiments: fig1 fig8 fig9 fig10 fig12 fig13 fig16 fig18a fig18b\n\
          table2 fig19 ablate-queue ablate-filler ablate-confidence\n\
          ablate-depth prefetch limit all\n\
@@ -482,6 +596,10 @@ fn print_usage() {
          consume into a chunked, CRC-checked binary container; replay\n\
          re-runs them from the capture with identical results (always\n\
          single-worker); convert translates text traces to the container\n\
-         and back (direction sniffed from the input's magic bytes)"
+         and back (direction sniffed from the input's magic bytes);\n\
+         explain re-runs a gdiff-vs-stride comparison with the prediction\n\
+         provenance tap on and prints per-PC / distance / value-delay\n\
+         offender tables (byte-identical for every --jobs value);\n\
+         --dump-provenance includes the raw flight-recorder events"
     );
 }

@@ -34,6 +34,23 @@ pub fn run_pipeline_on(
     run_pipeline_configured_on(source, bench, engine, None, PipelineConfig::r10k(), params)
 }
 
+/// [`run_pipeline_on`] additionally collecting the prediction-provenance
+/// aggregate over the measurement phase (`harness explain`).
+pub fn run_pipeline_with_provenance(
+    source: &dyn TraceSource,
+    bench: Benchmark,
+    engine: Box<dyn VpEngine>,
+    params: RunParams,
+) -> (SimStats, obs::Provenance) {
+    let _span = obs::span::span("pipeline.run");
+    let trace = source.stream(bench).take(pipeline_trace_len(params));
+    Simulator::new(PipelineConfig::r10k(), engine).run_with_provenance(
+        trace,
+        params.warmup,
+        params.measure,
+    )
+}
+
 /// Full-control pipeline run: custom machine configuration and optional
 /// prefetcher.
 pub fn run_pipeline_configured(

@@ -123,6 +123,7 @@ pub fn default_jobs() -> usize {
 
 /// A completed cell waiting for its experiment to assemble.
 struct DoneCell {
+    label: String,
     out: CellOutput,
     registry: Registry,
     busy: Duration,
@@ -162,6 +163,10 @@ impl<'a> Collector<'a> {
             let mut outputs = Vec::with_capacity(cells.len());
             for c in cells {
                 master.merge(&c.registry);
+                // Per-cell wall-time attribution: the stderr `[exp took
+                // Ns]` lines are transient, but these spans surface in the
+                // report's `timings` section even when stderr is discarded.
+                obs::span::record(format!("cell.{}", c.label), c.busy);
                 busy += c.busy;
                 outputs.push(c.out);
             }
@@ -255,6 +260,7 @@ fn run_cell(label: String, run: CellFn<'_>) -> DoneCell {
     let t0 = Instant::now();
     let out = run(&mut registry);
     DoneCell {
+        label,
         out,
         registry,
         busy: t0.elapsed(),
@@ -339,5 +345,20 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn per_cell_spans_are_recorded() {
+        let _ = run(2);
+        let spans = obs::span::snapshot();
+        for cell in ["cell.slow/0", "cell.mid/1", "cell.fast/3"] {
+            assert!(
+                spans.iter().any(|(n, s)| n == cell && s.count > 0),
+                "missing span {cell}"
+            );
+        }
+        assert!(spans
+            .iter()
+            .any(|(n, s)| n == "experiment.slow" && s.count > 0));
     }
 }

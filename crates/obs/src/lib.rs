@@ -14,15 +14,22 @@
 //!   per-experiment timing in run reports.
 //! - [`json`] — a small JSON value tree with a writer and a strict
 //!   parser, used for the harness's machine-readable `--json` reports.
+//! - [`provenance`] — per-PC / per-distance / per-delay attribution of
+//!   value-prediction outcomes, with a bounded flight recorder for
+//!   mispredict forensics. Merges deterministically like [`Registry`].
 
 #![forbid(unsafe_code)]
 
 pub mod json;
 pub mod metrics;
+pub mod provenance;
 pub mod span;
 pub mod trace;
 
 pub use json::JsonValue;
 pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, Meter, Registry};
+pub use provenance::{
+    FlightRecorder, NullSink, PredictionMade, PredictionResolved, Provenance, ProvenanceSink,
+};
 pub use span::{span, SpanGuard, SpanStats};
 pub use trace::{tracer, TraceEvent, TraceKind, Tracer};

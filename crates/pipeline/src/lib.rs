@@ -40,4 +40,6 @@ pub use config::{CacheConfig, PipelineConfig};
 pub use prefetch::{GDiffPrefetcher, NextLinePrefetcher, Prefetcher, StridePrefetcher};
 pub use sim::{NullObserver, SimObserver, Simulator};
 pub use stats::{DelayHistogram, SimStats};
-pub use vp::{HgvqEngine, LocalEngine, NoVp, OracleEngine, SgvqEngine, VpEngine, VpToken};
+pub use vp::{
+    HgvqEngine, LocalEngine, NoVp, OracleEngine, SgvqEngine, TokenProvenance, VpEngine, VpToken,
+};

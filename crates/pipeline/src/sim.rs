@@ -19,7 +19,10 @@
 use std::collections::{HashMap, VecDeque};
 
 use obs::trace::{tracer, TraceEvent, TraceKind};
-use obs::{CounterId, HistogramId, Registry};
+use obs::{
+    CounterId, HistogramId, PredictionMade, PredictionResolved, Provenance, ProvenanceSink,
+    Registry,
+};
 use workloads::{DynInst, OpClass};
 
 use crate::stats::DelayHistogram;
@@ -31,6 +34,13 @@ const NUM_REGS: usize = 64;
 
 /// Watchdog: cycles without any retirement before declaring deadlock.
 const WATCHDOG_CYCLES: u64 = 100_000;
+
+/// Row count of the provenance distance matrix (matches `gdiff::MAX_ORDER`).
+const PROV_DISTANCE_MAX: usize = 64;
+
+/// Bucket count of the provenance value-delay matrix (delays clamp here,
+/// like the `sim.value_delay` histogram's 64 buckets).
+const PROV_DELAY_MAX: usize = 64;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
@@ -64,6 +74,12 @@ struct RobEntry {
     mispredicted_branch: bool,
     redirect_done: bool,
     dispatched_at_value_count: u64,
+    /// Cycle the instruction entered the ROB (provenance value delay).
+    dispatched_cycle: u64,
+    /// Value-producing instructions in flight when this one dispatched:
+    /// the provenance `inflight_count`, compared against the chosen gDiff
+    /// distance to spot predictions whose base value cannot resolve in time.
+    inflight_at_dispatch: u64,
 }
 
 /// Hooks for measurement-only instrumentation (no timing effect).
@@ -139,6 +155,12 @@ pub struct Simulator {
     value_wb_counter: u64,
     vp_stats: predictors::PredictorStats,
     vp_missing: predictors::PredictorStats,
+    /// Provenance aggregator; `None` (the default) keeps the hot path free
+    /// of per-prediction attribution work.
+    prov: Option<Provenance>,
+    /// Value-producing instructions currently in flight (dispatched, value
+    /// not yet written back).
+    inflight_values: u64,
 }
 
 /// Pre-resolved handles into the simulator's metrics registry.
@@ -195,6 +217,8 @@ impl Simulator {
             value_wb_counter: 0,
             vp_stats: predictors::PredictorStats::new(),
             vp_missing: predictors::PredictorStats::new(),
+            prov: None,
+            inflight_values: 0,
         }
     }
 
@@ -235,12 +259,39 @@ impl Simulator {
 
     /// Like [`run`](Self::run), with an instrumentation observer.
     pub fn run_with_observer(
-        mut self,
+        self,
         trace: impl IntoIterator<Item = DynInst>,
         warmup: u64,
         measure: u64,
         observer: &mut dyn SimObserver,
     ) -> SimStats {
+        self.run_inner(trace, warmup, measure, observer).0
+    }
+
+    /// Like [`run`](Self::run), additionally collecting the prediction
+    /// provenance aggregate (per-PC attribution, distance/delay matrices,
+    /// flight recorder) over the *measurement* phase.
+    ///
+    /// Attribution is recorded at value write-back, so the aggregate covers
+    /// exactly the predictions [`SimStats::vp`] counts.
+    pub fn run_with_provenance(
+        mut self,
+        trace: impl IntoIterator<Item = DynInst>,
+        warmup: u64,
+        measure: u64,
+    ) -> (SimStats, Provenance) {
+        self.prov = Some(Provenance::new(PROV_DISTANCE_MAX, PROV_DELAY_MAX));
+        let (stats, prov) = self.run_inner(trace, warmup, measure, &mut NullObserver);
+        (stats, prov.expect("provenance enabled above"))
+    }
+
+    fn run_inner(
+        mut self,
+        trace: impl IntoIterator<Item = DynInst>,
+        warmup: u64,
+        measure: u64,
+        observer: &mut dyn SimObserver,
+    ) -> (SimStats, Option<Provenance>) {
         let mut trace = trace.into_iter();
         let mut trace_done = false;
 
@@ -267,6 +318,10 @@ impl Simulator {
         self.metrics.reset_histogram(self.ids.delays);
         self.vp_stats = predictors::PredictorStats::new();
         self.vp_missing = predictors::PredictorStats::new();
+        if self.prov.is_some() {
+            // Provenance covers the measurement phase only, like vp_stats.
+            self.prov = Some(Provenance::new(PROV_DISTANCE_MAX, PROV_DELAY_MAX));
+        }
         let icache_base = (self.icache.hits(), self.icache.misses());
         let dcache_base = (self.dcache.hits(), self.dcache.misses());
         let branch_base = (self.branch.lookups(), self.branch.mispredicts());
@@ -295,7 +350,7 @@ impl Simulator {
         self.metrics
             .set_gauge(ipc_gauge, rate(retired, cycles.max(1)));
         self.vp_stats.publish(&mut self.metrics, "vp");
-        SimStats {
+        let stats = SimStats {
             cycles,
             retired,
             value_producing: self.metrics.counter_value(self.ids.value_producing),
@@ -309,7 +364,8 @@ impl Simulator {
             reissues: self.metrics.counter_value(self.ids.reissues),
             prefetches_issued: self.metrics.counter_value(self.ids.prefetches_issued),
             prefetches_useful: self.metrics.counter_value(self.ids.prefetches_useful),
-        }
+        };
+        (stats, self.prov)
     }
 
     fn check_watchdog(&self, last: (u64, u64)) -> (u64, u64) {
@@ -379,6 +435,29 @@ impl Simulator {
                 let delay = self.value_wb_counter - self.rob[idx].dispatched_at_value_count;
                 self.metrics.observe(self.ids.delays, delay);
                 self.value_wb_counter += 1;
+                self.inflight_values -= 1;
+                if let Some(prov) = self.prov.as_mut() {
+                    let e = &self.rob[idx];
+                    let tp = token.provenance();
+                    let predicted = token.predicted();
+                    let made = PredictionMade {
+                        pc,
+                        op_class: op_class_name(e.inst.op),
+                        chosen_k: tp.chosen_k,
+                        diff: tp.diff,
+                        conf: token.confident_prediction().is_some(),
+                        predicted,
+                        gvq_fill_depth: tp.fill_depth,
+                        inflight_count: e.inflight_at_dispatch,
+                    };
+                    let resolved = PredictionResolved {
+                        correct: predicted == Some(actual),
+                        actual,
+                        value_delay_cycles: cycle - e.dispatched_cycle,
+                        patched_by_hgvq: tp.filler_backed,
+                    };
+                    prov.record(&made, &resolved);
+                }
                 self.rob[idx].vp_done = true;
             }
             if tracer().enabled() {
@@ -576,8 +655,13 @@ impl Simulator {
                     }
                 }
             }
+            // Snapshot before counting this instruction: older producers
+            // still in flight, i.e. how many write-backs the GVQ is behind.
+            let inflight_at_dispatch = self.inflight_values;
             let vp_token = if inst.produces_value() {
-                self.engine.dispatch(&inst)
+                let t = self.engine.dispatch(&inst);
+                self.inflight_values += 1;
+                t
             } else {
                 VpToken::None
             };
@@ -620,6 +704,8 @@ impl Simulator {
                 mispredicted_branch: mispredicted,
                 redirect_done: false,
                 dispatched_at_value_count: self.value_wb_counter,
+                dispatched_cycle: self.cycle,
+                inflight_at_dispatch,
             });
             n += 1;
         }
@@ -674,6 +760,20 @@ impl Simulator {
             }
         }
         false
+    }
+}
+
+/// Stable provenance label for an op class (part of the
+/// `gdiff-explain-report/v1` schema — do not rename).
+fn op_class_name(op: OpClass) -> &'static str {
+    match op {
+        OpClass::IntAlu => "int_alu",
+        OpClass::IntMul => "int_mul",
+        OpClass::IntDiv => "int_div",
+        OpClass::Load => "load",
+        OpClass::Store => "store",
+        OpClass::Branch => "branch",
+        OpClass::Jump => "jump",
     }
 }
 
@@ -822,6 +922,35 @@ mod tests {
         assert!(has(TraceKind::Writeback));
         assert!(has(TraceKind::Commit));
         assert!(has(TraceKind::ValuePredict));
+    }
+
+    #[test]
+    fn provenance_run_populates_tables_and_matches_plain_run() {
+        use crate::HgvqEngine;
+        let trace = Benchmark::Gzip.build(7).take(90_000);
+        let (stats, prov) = Simulator::new(
+            PipelineConfig::r10k(),
+            Box::new(HgvqEngine::paper_default()),
+        )
+        .run_with_provenance(trace, 6_000, 30_000);
+        // Provenance covers the measurement phase exactly: one event per
+        // verified prediction opportunity.
+        assert_eq!(prov.resolved(), stats.vp.total());
+        assert!(!prov.per_pc().is_empty());
+        assert!(prov.op_classes().contains_key("load"));
+        assert!(prov.op_classes().contains_key("int_alu"));
+        let dist_made: u64 = prov.distance_matrix().iter().map(|c| c.made).sum();
+        assert_eq!(dist_made, prov.resolved());
+        let delay_events: u64 = prov.delay_matrix().iter().map(|b| b[0] + b[1]).sum();
+        assert!(delay_events > 0, "predicted values feed the delay matrix");
+        // The aggregate rides along without perturbing timing.
+        let plain = Simulator::new(
+            PipelineConfig::r10k(),
+            Box::new(HgvqEngine::paper_default()),
+        )
+        .run(Benchmark::Gzip.build(7).take(90_000), 6_000, 30_000);
+        assert_eq!(stats.cycles, plain.cycles);
+        assert_eq!(stats.vp.total(), plain.vp.total());
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub enum VpToken {
         predicted: Option<u64>,
         /// Whether confidence endorsed it.
         confident: bool,
+        /// Provenance: the delta the predictor added to its base value
+        /// (e.g. the confirmed local stride), when it exposes one.
+        diff: Option<i64>,
     },
     /// An SGVQ gDiff token.
     Sgvq(SgvqToken),
@@ -36,6 +39,30 @@ impl VpToken {
         }
     }
 
+    /// The provenance fields this token carries for
+    /// [`obs::provenance`](obs::provenance) emission.
+    pub fn provenance(&self) -> TokenProvenance {
+        match self {
+            VpToken::None => TokenProvenance::default(),
+            VpToken::Plain { diff, .. } => TokenProvenance {
+                diff: *diff,
+                ..TokenProvenance::default()
+            },
+            VpToken::Sgvq(t) => TokenProvenance {
+                chosen_k: t.chosen_k,
+                diff: t.diff,
+                fill_depth: t.fill_depth,
+                filler_backed: false,
+            },
+            VpToken::Hgvq(t) => TokenProvenance {
+                chosen_k: t.chosen_k,
+                diff: t.diff,
+                fill_depth: t.fill_depth,
+                filler_backed: t.filler.is_some(),
+            },
+        }
+    }
+
     /// The predicted value when confidence endorsed it — the only form the
     /// pipeline is allowed to speculate on.
     pub fn confident_prediction(&self) -> Option<u64> {
@@ -44,11 +71,28 @@ impl VpToken {
             VpToken::Plain {
                 predicted,
                 confident,
+                ..
             } => predicted.filter(|_| *confident),
             VpToken::Sgvq(t) => t.prediction.filter(|g| g.confident).map(|g| g.value),
             VpToken::Hgvq(t) => t.prediction.filter(|g| g.confident).map(|g| g.value),
         }
     }
+}
+
+/// Provenance fields extracted from a [`VpToken`] for the
+/// [`obs::provenance`](obs::provenance) tap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokenProvenance {
+    /// The gDiff distance selected at dispatch, if any.
+    pub chosen_k: Option<u16>,
+    /// The delta backing the prediction (gDiff stored difference, or a
+    /// local predictor's confirmed stride).
+    pub diff: Option<i64>,
+    /// Values in the global queue at dispatch (0 for queueless engines).
+    pub fill_depth: u64,
+    /// Whether an HGVQ slot pre-filled by the local filler backed the
+    /// prediction.
+    pub filler_backed: bool,
 }
 
 /// A value-prediction engine driven by the pipeline: asked for a prediction
@@ -150,14 +194,17 @@ impl<P: ValuePredictor> LocalEngine<P> {
 impl<P: ValuePredictor + std::fmt::Debug> VpEngine for LocalEngine<P> {
     fn dispatch(&mut self, inst: &DynInst) -> VpToken {
         let pc = inst.pc;
+        let diff = self.gated.inner().learned_diff(pc);
         match self.gated.predict(pc) {
             Some(g) => VpToken::Plain {
                 predicted: Some(g.value),
                 confident: g.confident,
+                diff,
             },
             None => VpToken::Plain {
                 predicted: None,
                 confident: false,
+                diff,
             },
         }
     }
@@ -288,6 +335,7 @@ impl VpEngine for OracleEngine {
         VpToken::Plain {
             predicted: Some(inst.value),
             confident: true,
+            diff: None,
         }
     }
 
@@ -386,6 +434,31 @@ mod tests {
     }
 
     #[test]
+    fn token_provenance_surfaces_taps() {
+        let mut e = LocalEngine::stride_8k();
+        for i in 0..6u64 {
+            let t = e.dispatch(&at(0x40));
+            e.writeback(0x40, &t, i * 4);
+        }
+        let t = e.dispatch(&at(0x40));
+        assert_eq!(t.provenance().diff, Some(4), "confirmed local stride");
+        assert_eq!(t.provenance().chosen_k, None, "no queue distance");
+
+        let mut h = HgvqEngine::paper_default();
+        for i in 0..40u64 {
+            let ta = h.dispatch(&at(0xa0));
+            let tb = h.dispatch(&at(0xb0));
+            h.writeback(0xa0, &ta, i);
+            h.writeback(0xb0, &tb, i + 2);
+        }
+        let p = h.dispatch(&at(0xb0)).provenance();
+        assert!(p.chosen_k.is_some(), "learned distance is tapped");
+        assert!(p.diff.is_some());
+        assert!(p.fill_depth > 0);
+        assert_eq!(VpToken::None.provenance(), TokenProvenance::default());
+    }
+
+    #[test]
     fn record_token_counts_confidence_correctly() {
         let mut s = PredictorStats::new();
         record_token(
@@ -393,6 +466,7 @@ mod tests {
             &VpToken::Plain {
                 predicted: Some(5),
                 confident: true,
+                diff: None,
             },
             5,
         );
@@ -401,6 +475,7 @@ mod tests {
             &VpToken::Plain {
                 predicted: Some(5),
                 confident: false,
+                diff: None,
             },
             6,
         );

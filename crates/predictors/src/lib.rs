@@ -112,6 +112,17 @@ pub trait ValuePredictor {
         self.update(pc, actual);
         predicted.map(|p| p == actual)
     }
+
+    /// Provenance tap: the delta this predictor would add to its base
+    /// value for `pc` (a confirmed local stride, a learned address
+    /// transition delta, …), for the prediction-attribution tables.
+    ///
+    /// Read-only and side-effect free — unlike [`predict`](Self::predict)
+    /// it must not touch aliasing or access accounting. Predictors
+    /// without a meaningful delta keep the `None` default.
+    fn learned_diff(&self, _pc: u64) -> Option<i64> {
+        None
+    }
 }
 
 impl<P: ValuePredictor + ?Sized> ValuePredictor for Box<P> {
@@ -125,6 +136,10 @@ impl<P: ValuePredictor + ?Sized> ValuePredictor for Box<P> {
 
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn learned_diff(&self, pc: u64) -> Option<i64> {
+        (**self).learned_diff(pc)
     }
 }
 

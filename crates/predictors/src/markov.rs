@@ -110,6 +110,13 @@ impl MarkovPredictor {
         set.iter().find(|w| w.tag == addr).map(|w| w.next)
     }
 
+    /// Provenance tap: the successor address this predictor would emit
+    /// for `pc` right now, without touching LRU state or accounting.
+    pub fn predicted_successor(&self, pc: u64) -> Option<u64> {
+        let last = (*self.last_addr.peek(pc)?)?;
+        self.lookup(last)
+    }
+
     fn insert(&mut self, addr: u64, next: u64) {
         self.clock += 1;
         let clock = self.clock;
@@ -155,6 +162,13 @@ impl ValuePredictor for MarkovPredictor {
 
     fn name(&self) -> &'static str {
         "markov"
+    }
+
+    fn learned_diff(&self, pc: u64) -> Option<i64> {
+        // The address-transition delta: how far the predicted successor
+        // jumps from the load's last address.
+        let last = (*self.last_addr.peek(pc)?)?;
+        self.lookup(last).map(|next| next.wrapping_sub(last) as i64)
     }
 }
 
@@ -237,6 +251,22 @@ mod tests {
         p.update(0, 1);
         p.update(0, 5); // rewrites 1 -> 5 in place
         assert_eq!(p.lookup(1), Some(5));
+    }
+
+    #[test]
+    fn successor_tap_matches_predict_without_mutation() {
+        let mut p = MarkovPredictor::new(MarkovConfig {
+            entries: 64,
+            ways: 4,
+        });
+        assert_eq!(p.predicted_successor(0), None);
+        let chain = [0x100u64, 0x240, 0x810, 0x100];
+        for &a in &chain {
+            p.update(0, a);
+        }
+        assert_eq!(p.predicted_successor(0), Some(0x240));
+        assert_eq!(p.predicted_successor(0), p.predict(0));
+        assert_eq!(p.learned_diff(0), Some(0x240 - 0x100));
     }
 
     #[test]

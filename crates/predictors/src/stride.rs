@@ -51,6 +51,14 @@ impl StridePredictor {
     pub fn conflict_rate(&self) -> f64 {
         self.table.conflict_rate()
     }
+
+    /// Provenance tap: the confirmed stride for `pc`, if the 2-delta
+    /// filter has confirmed one. Read-only — no table accounting.
+    pub fn learned_stride(&self, pc: u64) -> Option<i64> {
+        self.table
+            .peek(pc)
+            .and_then(|e| e.valid.then_some(e.stride))
+    }
 }
 
 impl ValuePredictor for StridePredictor {
@@ -86,6 +94,10 @@ impl ValuePredictor for StridePredictor {
 
     fn name(&self) -> &'static str {
         "local-stride"
+    }
+
+    fn learned_diff(&self, pc: u64) -> Option<i64> {
+        self.learned_stride(pc)
     }
 }
 
@@ -151,6 +163,21 @@ mod tests {
             p.update(0, v);
         }
         assert_eq!(p.predict(0), Some(5));
+    }
+
+    #[test]
+    fn learned_stride_reports_confirmed_strides_only() {
+        let mut p = StridePredictor::new(Capacity::Unbounded);
+        assert_eq!(p.learned_stride(0), None, "cold");
+        p.update(0, 100);
+        p.update(0, 103);
+        assert_eq!(p.learned_stride(0), None, "candidate not yet confirmed");
+        p.update(0, 106);
+        assert_eq!(p.learned_stride(0), Some(3));
+        assert_eq!(p.learned_diff(0), Some(3), "trait tap delegates");
+        let before = p.conflict_rate();
+        let _ = p.learned_stride(0);
+        assert_eq!(p.conflict_rate(), before, "tap must not touch accounting");
     }
 
     #[test]

@@ -65,6 +65,22 @@ fn no_experiment_is_rejected() {
 }
 
 #[test]
+fn trace_last_zero_is_rejected() {
+    // A zero-capacity trace ring is a contradiction: reject it up front
+    // rather than silently rounding up, in the run and replay paths alike.
+    assert_usage_error(&["--trace-last", "0", "fig1"], "at least 1");
+    assert_usage_error(&["replay", "--trace-last", "0", "x.bin"], "at least 1");
+}
+
+#[test]
+fn explain_args_are_validated() {
+    assert_usage_error(&["explain"], "explain needs an experiment");
+    assert_usage_error(&["explain", "fig1"], "explain supports");
+    assert_usage_error(&["explain", "-q", "fig13"], "unknown explain option: -q");
+    assert_usage_error(&["explain", "--jobs", "0", "fig13"], "at least 1");
+}
+
+#[test]
 fn unknown_subcommand_flags_are_rejected() {
     assert_usage_error(&["record", "-q", "fig1"], "unknown record option: -q");
     assert_usage_error(&["replay", "-q", "x.bin"], "unknown replay option: -q");

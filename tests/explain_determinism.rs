@@ -1,0 +1,70 @@
+//! The `explain` subcommand's determinism guarantee, tested end to end
+//! through the binary: tables and the `gdiff-explain-report/v1` JSON are
+//! byte-identical for every worker count (the report deliberately carries
+//! no timing or scheduler sections).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gdiff-explain-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// Runs `harness explain fig13` at a small scale with `jobs` workers;
+/// returns (stdout bytes, raw JSON report bytes).
+fn run_explain(jobs: usize) -> (Vec<u8>, Vec<u8>) {
+    let json = tmp_path(&format!("j{jobs}.json"));
+    let out = Command::new(env!("CARGO_BIN_EXE_harness"))
+        .args([
+            "explain",
+            "fig13",
+            "--scale",
+            "0.05",
+            "--seed",
+            "7",
+            "--jobs",
+            &jobs.to_string(),
+            "--json",
+        ])
+        .arg(&json)
+        .output()
+        .expect("harness runs");
+    assert!(
+        out.status.success(),
+        "jobs={jobs} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = std::fs::read(&json).expect("report written");
+    std::fs::remove_file(&json).ok();
+    (out.stdout, report)
+}
+
+#[test]
+fn explain_is_byte_identical_for_any_worker_count() {
+    let (stdout1, report1) = run_explain(1);
+    assert!(!stdout1.is_empty(), "tables go to stdout");
+    let text = String::from_utf8_lossy(&report1).to_string();
+    let parsed = obs::JsonValue::parse(&text).expect("report parses");
+    assert_eq!(
+        parsed.path("schema").and_then(|v| v.as_str()),
+        Some("gdiff-explain-report/v1")
+    );
+    assert!(parsed.path("explain.offenders.worst_covered").is_some());
+    assert!(
+        parsed.get("timings").is_none() && parsed.get("scheduler").is_none(),
+        "explain reports exclude worker-count-dependent sections"
+    );
+    for jobs in [2, 4] {
+        let (stdout, report) = run_explain(jobs);
+        assert_eq!(
+            stdout, stdout1,
+            "stdout must be byte-identical at jobs={jobs}"
+        );
+        assert_eq!(
+            report, report1,
+            "JSON report must be byte-identical at jobs={jobs}"
+        );
+    }
+}
