@@ -10,6 +10,33 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gdiff::{GDiffCore, GlobalValueQueue};
 use predictors::Capacity;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// System allocator wrapper counting every allocation, so the telemetry
+/// overhead guard can assert the update path stays allocation-free even
+/// with the taps armed.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn bench_gvq_push(c: &mut Criterion) {
     let mut g = c.benchmark_group("gvq");
@@ -80,10 +107,133 @@ fn bench_gdiff_predict_update_round(c: &mut Criterion) {
     g.finish();
 }
 
+/// One timed burst of the order-8 update loop; returns the wall time.
+fn order8_burst(iters: u64) -> Duration {
+    let order = 8usize;
+    let mut core = GDiffCore::new(Capacity::Entries(8192), order);
+    let mut q = GlobalValueQueue::new(order);
+    for i in 0..order as u64 * 2 {
+        q.push(i * 3);
+    }
+    let t0 = Instant::now();
+    for i in 1..=iters {
+        core.update_with(black_box(0x40), black_box(i * 7), |k| q.back(k));
+        q.push(i * 7);
+    }
+    black_box(&core);
+    t0.elapsed()
+}
+
+/// Telemetry overhead guard for the hot path.
+///
+/// With the timeline armed and a sampler thread running against a shared
+/// registry — the full `--timeline --live-metrics` configuration — the
+/// order-8 update burst must (a) perform zero heap allocations and
+/// (b) stay within 2% of the telemetry-off wall time. The taps sit at
+/// cell/phase granularity, never inside the update, so any regression
+/// here means an instrumentation site leaked into the per-instruction
+/// loop.
+fn bench_telemetry_overhead_guard(c: &mut Criterion) {
+    // Bursts need to be long enough (hundreds of ms) that scheduler noise
+    // averages out under the 2% budget; short bursts see ±5% jitter.
+    const ITERS: u64 = 10_000_000;
+    const TRIALS: usize = 7;
+
+    // Full telemetry configuration: timeline armed plus a live sampler.
+    // The 1-hour interval keeps sampler ticks (which allocate on their
+    // own thread) out of the measured window, so the allocation count
+    // isolates the update path itself.
+    let shared = obs::SharedRegistry::new();
+    let sampler = obs::Sampler::start(shared.clone(), Duration::from_secs(3600), 16, None);
+    std::thread::sleep(Duration::from_millis(20)); // baseline snapshot done
+
+    // Each trial runs off/on/off bursts and judges the *median of the
+    // per-trial ratios*: bracketing cancels frequency-ramp and
+    // cache-warming drift, and the median shrugs off a single preempted
+    // burst that would poison a min-vs-min comparison. The two off bursts
+    // also yield a same-code noise floor — on a machine whose jitter
+    // exceeds the budget, the gate widens by the measured noise instead
+    // of failing on scheduler luck.
+    order8_burst(ITERS); // warm-up, untimed
+    let (mut off, mut on) = (Duration::MAX, Duration::MAX);
+    let mut ratios = Vec::with_capacity(TRIALS);
+    let mut noises = Vec::with_capacity(TRIALS);
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..TRIALS {
+        obs::timeline::disable();
+        let t_off1 = order8_burst(ITERS);
+        obs::timeline::enable(1024);
+        let t_on = order8_burst(ITERS);
+        obs::timeline::disable();
+        let t_off2 = order8_burst(ITERS);
+        off = off.min(t_off1).min(t_off2);
+        on = on.min(t_on);
+        let mid = (t_off1.as_secs_f64() + t_off2.as_secs_f64()) / 2.0;
+        ratios.push(t_on.as_secs_f64() / mid);
+        noises.push((t_off2.as_secs_f64() / t_off1.as_secs_f64() - 1.0).abs());
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    noises.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_ratio = ratios[TRIALS / 2];
+    let noise_floor = noises[TRIALS / 2];
+
+    sampler.stop();
+    obs::timeline::disable();
+
+    // The loop allocates a handful of times at setup (table + queue per
+    // trial), never per update: allow setup, reject per-iteration cost.
+    let per_update = allocs as f64 / (2.0 * TRIALS as f64 * ITERS as f64);
+    assert!(
+        allocs < 1_000,
+        "update path allocated {allocs} times with telemetry on ({per_update:.4}/update)"
+    );
+
+    let overhead = median_ratio - 1.0;
+    let budget = 0.02 + noise_floor;
+    println!(
+        "telemetry overhead @ order 8: off {:.1} ns/update, on {:.1} ns/update \
+         (median ratio {:+.2}%, noise floor {:.2}%, budget {:.2}%)",
+        off.as_secs_f64() * 1e9 / ITERS as f64,
+        on.as_secs_f64() * 1e9 / ITERS as f64,
+        overhead * 100.0,
+        noise_floor * 100.0,
+        budget * 100.0
+    );
+    assert!(
+        overhead < budget,
+        "telemetry adds {:.2}% to the order-8 update path (budget {:.2}%)",
+        overhead * 100.0,
+        budget * 100.0
+    );
+
+    // Surface the guarded configuration in the criterion report too.
+    let mut g = c.benchmark_group("gdiff_update_telemetry");
+    g.throughput(Throughput::Elements(1));
+    obs::timeline::enable(1024);
+    g.bench_function("order_8_on", |b| {
+        let order = 8usize;
+        let mut core = GDiffCore::new(Capacity::Entries(8192), order);
+        let mut q = GlobalValueQueue::new(order);
+        for i in 0..order as u64 * 2 {
+            q.push(i * 3);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            core.update_with(black_box(0x40), black_box(i * 7), |k| q.back(k));
+            q.push(i * 7);
+        })
+    });
+    g.finish();
+    obs::timeline::disable();
+}
+
 criterion_group!(
     benches,
     bench_gvq_push,
     bench_gdiff_update,
-    bench_gdiff_predict_update_round
+    bench_gdiff_predict_update_round,
+    bench_telemetry_overhead_guard
 );
 criterion_main!(benches);

@@ -1,0 +1,296 @@
+//! Comparing two machine-readable run reports (`bench-diff`).
+//!
+//! A committed `BENCH_<rev>.json` snapshot plus this diff turns the run
+//! report into a regression gate: CI regenerates the report at the same
+//! seed/scale and `harness bench-diff old.json new.json` fails (exit 3)
+//! when any metric moved past the threshold.
+//!
+//! Only the `experiments` section is compared — it is the deterministic
+//! surface (byte-identical for any `--jobs`, telemetry on or off). The
+//! `timings` / `scheduler` / `metrics` sections carry wall-clock and
+//! environment-shaped values that legitimately differ between machines.
+
+use obs::JsonValue;
+
+use crate::report::Table;
+
+/// Default `--threshold`: relative deltas past this many percent fail.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 5.0;
+
+/// One compared metric leaf.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Dotted path under `experiments` (array indices as `[i]`).
+    pub path: String,
+    /// Value in the old report (`None`: metric only in the new one).
+    pub old: Option<f64>,
+    /// Value in the new report (`None`: metric vanished).
+    pub new: Option<f64>,
+    /// Relative delta in percent (`None` when either side is missing, or
+    /// infinite when the old value was zero and the new one is not).
+    pub rel_pct: Option<f64>,
+}
+
+impl DiffRow {
+    /// Whether this row trips the gate at `threshold_pct`.
+    ///
+    /// A metric that appeared or vanished always trips: a renamed leaf is
+    /// a schema change the snapshot must be regenerated for, not noise.
+    pub fn breaches(&self, threshold_pct: f64) -> bool {
+        match (self.old, self.new) {
+            (Some(_), Some(_)) => self
+                .rel_pct
+                .map(|d| d.abs() > threshold_pct)
+                .unwrap_or(true),
+            _ => true,
+        }
+    }
+}
+
+/// The comparison of two reports' `experiments` sections.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Every metric leaf seen in either report, old-report order first.
+    pub rows: Vec<DiffRow>,
+    /// Gate threshold the report was built with (percent).
+    pub threshold_pct: f64,
+}
+
+impl DiffReport {
+    /// The rows that trip the gate.
+    pub fn breaches(&self) -> Vec<&DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.breaches(self.threshold_pct))
+            .collect()
+    }
+
+    /// Renders the per-metric delta table. With `full`, every compared
+    /// leaf is listed; otherwise only rows with a nonzero delta.
+    pub fn render(&self, full: bool) -> String {
+        let mut t = Table::new(
+            format!("bench-diff (threshold {:.2}%)", self.threshold_pct),
+            &["metric", "old", "new", "delta", ""],
+        );
+        let mut shown = 0usize;
+        for r in &self.rows {
+            let changed = r.old != r.new;
+            if !full && !changed {
+                continue;
+            }
+            shown += 1;
+            t.row(vec![
+                r.path.clone(),
+                r.old.map(fmt_num).unwrap_or_else(|| "-".into()),
+                r.new.map(fmt_num).unwrap_or_else(|| "-".into()),
+                match r.rel_pct {
+                    Some(d) if d.is_finite() => format!("{d:+.2}%"),
+                    Some(_) => "inf".into(),
+                    None => "-".into(),
+                },
+                if r.breaches(self.threshold_pct) {
+                    "FAIL".into()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+        let mut out = t.render();
+        if shown == 0 {
+            out.push_str("(no differences)\n");
+        }
+        out
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Flattens every numeric leaf under `v` into `(dotted.path, value)`
+/// pairs, in document order. Array elements index as `path[i]`.
+pub fn numeric_leaves(v: &JsonValue) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(String::new(), v, &mut out);
+    out
+}
+
+fn walk(prefix: String, v: &JsonValue, out: &mut Vec<(String, f64)>) {
+    match v {
+        JsonValue::Num(n) => out.push((prefix, *n)),
+        JsonValue::Obj(entries) => {
+            for (k, child) in entries {
+                let p = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                walk(p, child, out);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                walk(format!("{prefix}[{i}]"), child, out);
+            }
+        }
+        // Strings/bools/nulls (benchmark names, schema tags) are labels,
+        // not measurements.
+        _ => {}
+    }
+}
+
+/// Compares the `experiments` sections of two parsed run reports.
+///
+/// Returns an error when either report has no `experiments` object —
+/// diffing anything else would silently compare the wrong surface.
+pub fn diff_reports(
+    old: &JsonValue,
+    new: &JsonValue,
+    threshold_pct: f64,
+) -> Result<DiffReport, String> {
+    let old_exp = old
+        .get("experiments")
+        .ok_or("old report has no `experiments` section")?;
+    let new_exp = new
+        .get("experiments")
+        .ok_or("new report has no `experiments` section")?;
+    let old_leaves = numeric_leaves(old_exp);
+    let new_leaves = numeric_leaves(new_exp);
+
+    let mut rows = Vec::with_capacity(old_leaves.len().max(new_leaves.len()));
+    for (path, old_v) in &old_leaves {
+        let new_v = new_leaves.iter().find(|(p, _)| p == path).map(|(_, v)| *v);
+        let rel_pct = new_v.map(|n| rel_delta_pct(*old_v, n));
+        rows.push(DiffRow {
+            path: path.clone(),
+            old: Some(*old_v),
+            new: new_v,
+            rel_pct,
+        });
+    }
+    for (path, new_v) in &new_leaves {
+        if !old_leaves.iter().any(|(p, _)| p == path) {
+            rows.push(DiffRow {
+                path: path.clone(),
+                old: None,
+                new: Some(*new_v),
+                rel_pct: None,
+            });
+        }
+    }
+    Ok(DiffReport {
+        rows,
+        threshold_pct,
+    })
+}
+
+fn rel_delta_pct(old: f64, new: f64) -> f64 {
+    if old == new {
+        0.0
+    } else if old == 0.0 {
+        f64::INFINITY
+    } else {
+        100.0 * (new - old) / old.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(acc: f64, rows: &[f64]) -> JsonValue {
+        JsonValue::object().with(
+            "experiments",
+            JsonValue::object().with(
+                "fig8",
+                JsonValue::object().with("accuracy", acc).with(
+                    "rows",
+                    JsonValue::Arr(
+                        rows.iter()
+                            .map(|v| JsonValue::object().with("stride", *v))
+                            .collect(),
+                    ),
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn identical_reports_have_no_breaches() {
+        let a = report(0.85, &[1.0, 2.0]);
+        let d = diff_reports(&a, &a, 5.0).unwrap();
+        assert_eq!(d.rows.len(), 3);
+        assert!(d.breaches().is_empty());
+        assert!(d.render(false).contains("no differences"));
+    }
+
+    #[test]
+    fn paths_cover_arrays_and_nesting() {
+        let a = report(0.85, &[1.0, 2.0]);
+        let paths: Vec<String> = numeric_leaves(a.get("experiments").unwrap())
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        assert_eq!(
+            paths,
+            vec![
+                "fig8.accuracy",
+                "fig8.rows[0].stride",
+                "fig8.rows[1].stride"
+            ]
+        );
+    }
+
+    #[test]
+    fn threshold_separates_noise_from_regression() {
+        let old = report(0.800, &[1.0]);
+        let new = report(0.808, &[1.2]); // +1% and +20%
+        let d = diff_reports(&old, &new, 5.0).unwrap();
+        let breaches = d.breaches();
+        assert_eq!(breaches.len(), 1);
+        assert_eq!(breaches[0].path, "fig8.rows[0].stride");
+        assert!((breaches[0].rel_pct.unwrap() - 20.0).abs() < 1e-9);
+        // A looser gate passes both.
+        let d = diff_reports(&old, &new, 25.0).unwrap();
+        assert!(d.breaches().is_empty());
+    }
+
+    #[test]
+    fn appearing_and_vanishing_metrics_always_breach() {
+        let old = report(0.85, &[1.0, 2.0]);
+        let new = report(0.85, &[1.0]); // rows[1] vanished
+        let d = diff_reports(&old, &new, 100.0).unwrap();
+        let b = d.breaches();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].path, "fig8.rows[1].stride");
+        assert_eq!(b[0].new, None);
+        // And the reverse direction: a metric only in the new report.
+        let d = diff_reports(&new, &old, 100.0).unwrap();
+        let b = d.breaches();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].old, None);
+    }
+
+    #[test]
+    fn zero_baseline_going_nonzero_is_infinite() {
+        let old = report(0.0, &[]);
+        let new = report(0.5, &[]);
+        let d = diff_reports(&old, &new, 1000.0).unwrap();
+        let b = d.breaches();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].rel_pct, Some(f64::INFINITY));
+        assert!(d.render(true).contains("inf"));
+    }
+
+    #[test]
+    fn missing_experiments_section_is_an_error() {
+        let bad = JsonValue::object().with("schema", "x");
+        let good = report(0.85, &[]);
+        assert!(diff_reports(&bad, &good, 5.0).is_err());
+        assert!(diff_reports(&good, &bad, 5.0).is_err());
+    }
+}

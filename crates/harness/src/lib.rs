@@ -30,6 +30,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod addr;
+pub mod benchdiff;
 pub mod cells;
 pub mod explain;
 pub mod pipe;
@@ -40,6 +41,7 @@ pub mod report;
 pub mod sched;
 
 pub use addr::{fig18, fig18_bench, fig18_on, Fig18Row};
+pub use benchdiff::{diff_reports, DiffReport, DiffRow, DEFAULT_THRESHOLD_PCT};
 pub use explain::{explain_cell, explain_plan, ExplainCell, EXPLAIN_EXPERIMENTS};
 pub use pipe::{
     ablate_confidence, ablate_confidence_on, ablate_confidence_point, ablate_confidence_thresholds,
@@ -54,7 +56,7 @@ pub use profile::{
     fig8, fig8_bench, fig8_on, fig9, fig9_bench, fig9_on, Fig10Row, Fig8Row, Fig9Row, QueueRow,
 };
 pub use record::{open_replay, record, RecordReport, ReplayError, ReplayPlan};
-pub use sched::{default_jobs, run_plans, Cell, ExperimentOutput, ExperimentPlan};
+pub use sched::{default_jobs, run_plans, run_plans_live, Cell, ExperimentOutput, ExperimentPlan};
 
 /// Run-size parameters shared by all experiments.
 ///

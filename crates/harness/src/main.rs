@@ -8,23 +8,29 @@
 //! `--jobs <n>` / `-j<n>` sets the worker count (default: all cores);
 //! output is byte-identical for every worker count,
 //! `--json <path|->` writes a machine-readable run report,
-//! `--trace-last <n>` records pipeline trace events and dumps the last n.
+//! `--trace-last <n>` records pipeline trace events and dumps the last n,
+//! `--timeline <path>` exports a Chrome trace-event timeline of the run,
+//! `--live-metrics <path|->` streams periodic NDJSON metric snapshots.
 //!
 //! Subcommands: `record --out <file> <experiment>...` captures the
 //! instruction streams the named experiments consume into a binary trace
 //! container; `replay <file>` re-runs those experiments from the capture
 //! (same numbers, no synthesis); `convert <in> <out>` translates between
 //! the text trace format and the binary container (direction sniffed from
-//! the input's magic bytes).
+//! the input's magic bytes); `export-metrics <experiment>...` runs
+//! experiments and prints the merged registry in Prometheus text format;
+//! `bench-diff <old.json> <new.json>` compares two run reports and fails
+//! past a regression threshold.
 
 use harness::cells::{plan_for, ALL_EXPERIMENTS};
 use harness::record::{open_replay, record};
 use harness::report::{RunReport, Table};
-use harness::sched::{default_jobs, run_plans};
+use harness::sched::{default_jobs, run_plans, run_plans_live};
 use harness::RunParams;
 use obs::trace::tracer;
-use obs::{JsonValue, Registry};
+use obs::{JsonValue, Registry, Sampler, SharedRegistry};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 use workloads::{SyntheticSource, TraceSource};
 
 /// Set when the JSON report goes to stdout (`--json -`): the human-readable
@@ -61,6 +67,12 @@ struct Options {
     json: Option<String>,
     /// `--trace-last <n>`: ring capacity and dump size.
     trace_last: Option<usize>,
+    /// `--timeline <path>`: Chrome trace-event JSON destination.
+    timeline: Option<String>,
+    /// `--live-metrics <path>`; `-` means stdout (tables move to stderr).
+    live_metrics: Option<String>,
+    /// `--live-interval-ms <n>`: snapshot period for `--live-metrics`.
+    live_interval_ms: u64,
     experiments: Vec<String>,
 }
 
@@ -73,6 +85,9 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         jobs: None,
         json: None,
         trace_last: None,
+        timeline: None,
+        live_metrics: None,
+        live_interval_ms: 250,
         experiments: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -87,6 +102,25 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                     it.next()
                         .ok_or_else(|| format!("{a} needs a value (a path or -)"))?,
                 )
+            }
+            "--timeline" => {
+                opts.timeline = Some(
+                    it.next()
+                        .ok_or_else(|| format!("{a} needs a value (a file path)"))?,
+                )
+            }
+            "--live-metrics" => {
+                opts.live_metrics = Some(
+                    it.next()
+                        .ok_or_else(|| format!("{a} needs a value (a path or -)"))?,
+                )
+            }
+            "--live-interval-ms" => {
+                let n: u64 = parse_value(&a, it.next())?;
+                if n == 0 {
+                    return Err(format!("{a}: interval must be at least 1 ms"));
+                }
+                opts.live_interval_ms = n;
             }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with("--") => return Err(format!("unknown option: {other}")),
@@ -142,6 +176,14 @@ fn main() {
             args.remove(0);
             main_explain(args)
         }
+        Some("export-metrics") => {
+            args.remove(0);
+            main_export_metrics(args)
+        }
+        Some("bench-diff") => {
+            args.remove(0);
+            main_bench_diff(args)
+        }
         _ => main_run(args),
     }
 }
@@ -183,7 +225,7 @@ fn main_run(args: Vec<String>) {
             usage_error(&msg);
         }
     };
-    if opts.json.as_deref() == Some("-") {
+    if opts.json.as_deref() == Some("-") || opts.live_metrics.as_deref() == Some("-") {
         TABLES_TO_STDERR.store(true, Ordering::Relaxed);
     }
     let selected = select_experiments(&opts.experiments);
@@ -202,6 +244,9 @@ fn main_run(args: Vec<String>) {
         jobs: opts.jobs.unwrap_or_else(default_jobs),
         json: opts.json,
         trace_last: opts.trace_last,
+        timeline: opts.timeline,
+        live_metrics: opts.live_metrics,
+        live_interval_ms: opts.live_interval_ms,
         sections: Vec::new(),
     });
 }
@@ -220,14 +265,56 @@ struct Execution<'a> {
     jobs: usize,
     json: Option<String>,
     trace_last: Option<usize>,
+    /// `--timeline`: Chrome trace-event JSON destination.
+    timeline: Option<String>,
+    /// `--live-metrics`: NDJSON snapshot stream destination (`-`: stdout).
+    live_metrics: Option<String>,
+    /// Snapshot period for `--live-metrics`.
+    live_interval_ms: u64,
     /// Extra report sections (e.g. replay's tracefile metrics).
     sections: Vec<(String, JsonValue)>,
 }
+
+/// Event capacity of the `--timeline` buffer: a full `all -j8` run emits
+/// a few hundred coarse events, so 64Ki leaves generous headroom while
+/// bounding a runaway run to ~10 MB of JSON.
+const TIMELINE_CAPACITY: usize = 64 * 1024;
+
+/// Snapshot ring size for `--live-metrics` (the stream itself is
+/// unbounded; the ring only backs the end-of-run summary counts).
+const LIVE_RING_CAP: usize = 1024;
 
 fn execute(x: Execution<'_>) {
     if let Some(n) = x.trace_last {
         tracer().enable(n.max(1));
     }
+    if x.timeline.is_some() {
+        obs::timeline::enable(TIMELINE_CAPACITY);
+        obs::timeline::set_thread_name("main");
+    }
+    // Live telemetry rides beside the deterministic outputs: workers merge
+    // finished cells into this shared registry in completion order, and the
+    // sampler streams delta snapshots; none of it feeds back into `master`.
+    let live = x.live_metrics.as_ref().map(|_| SharedRegistry::new());
+    let sampler = x.live_metrics.as_ref().map(|dest| {
+        let writer: Box<dyn std::io::Write + Send> = if dest == "-" {
+            Box::new(std::io::stdout())
+        } else {
+            match std::fs::File::create(dest) {
+                Ok(f) => Box::new(f),
+                Err(e) => {
+                    eprintln!("error: cannot write {dest}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        Sampler::start(
+            live.clone().expect("live registry exists"),
+            Duration::from_millis(x.live_interval_ms),
+            LIVE_RING_CAP,
+            Some(writer),
+        )
+    });
 
     let plans = x
         .selected
@@ -239,11 +326,35 @@ fn execute(x: Execution<'_>) {
     // Experiments fan out into per-benchmark cells across the workers, but
     // emission happens strictly in plan order, so the tables and the
     // `experiments` report section are byte-identical for any worker count.
-    let cells = run_plans(plans, x.jobs, &mut master, |res| {
+    let cells = run_plans_live(plans, x.jobs, &mut master, live.as_ref(), |res| {
         out!("{}", res.text);
         eprintln!("[{} took {:.1}s]\n", res.name, res.busy.as_secs_f64());
         report.add_experiment(&res.name, res.json);
     });
+
+    if let Some(sampler) = sampler {
+        let log = sampler.stop();
+        if !log.stream_ok {
+            eprintln!("warning: live-metrics stream write failed");
+        }
+        eprintln!(
+            "live-metrics: {} snapshots ({} beyond the ring)",
+            log.taken, log.dropped
+        );
+    }
+    if let Some(dest) = &x.timeline {
+        obs::timeline::disable();
+        let text = obs::timeline::export().to_json();
+        if let Err(e) = std::fs::write(dest, text + "\n") {
+            eprintln!("error: cannot write {dest}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "timeline: {} events ({} dropped) -> {dest}",
+            obs::timeline::recorded(),
+            obs::timeline::dropped()
+        );
+    }
 
     if let Some(n) = x.trace_last {
         tracer().disable();
@@ -419,6 +530,9 @@ fn main_replay(args: Vec<String>) {
         jobs: 1,
         json,
         trace_last,
+        timeline: None,
+        live_metrics: None,
+        live_interval_ms: 250,
         sections: vec![("tracefile".to_string(), registry.to_json())],
     });
 }
@@ -547,6 +661,163 @@ fn main_convert(args: Vec<String>) {
     }
 }
 
+/// `export-metrics`: run experiments and print the merged registry (plus
+/// the span table) in Prometheus text exposition format. Tables go to
+/// stderr; stdout carries only the exposition so it pipes cleanly into
+/// scrape tooling — the same rendering a future serve daemon's `/metrics`
+/// endpoint will return.
+fn main_export_metrics(args: Vec<String>) {
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
+    let mut jobs: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut experiments = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => match parse_value(&a, it.next()) {
+                Ok(v) => scale = v,
+                Err(m) => usage_error(&m),
+            },
+            "--seed" => match parse_value(&a, it.next()) {
+                Ok(v) => seed = v,
+                Err(m) => usage_error(&m),
+            },
+            "--jobs" | "-j" => match parse_jobs(&a, it.next()) {
+                Ok(v) => jobs = Some(v),
+                Err(m) => usage_error(&m),
+            },
+            "--out" => {
+                out = Some(match it.next() {
+                    Some(v) => v,
+                    None => usage_error("--out needs a value (a file path)"),
+                })
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other if other.starts_with("-j") && other.len() > 2 => {
+                match parse_jobs("-j", Some(other[2..].to_string())) {
+                    Ok(v) => jobs = Some(v),
+                    Err(m) => usage_error(&m),
+                }
+            }
+            other if other.starts_with('-') => {
+                usage_error(&format!("unknown export-metrics option: {other}"))
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    // Stdout is the exposition; everything human-readable moves aside.
+    TABLES_TO_STDERR.store(true, Ordering::Relaxed);
+    let selected = select_experiments(&experiments);
+    let mut profile = RunParams::profile_default().scaled(scale);
+    let mut pipelinep = RunParams::pipeline_default().scaled(scale);
+    profile.seed = seed;
+    pipelinep.seed = seed;
+    let source = SyntheticSource::new(seed);
+    let plans = selected
+        .iter()
+        .map(|exp| plan_for(exp, &source, profile, pipelinep))
+        .collect();
+    let mut master = Registry::new();
+    run_plans(
+        plans,
+        jobs.unwrap_or_else(default_jobs),
+        &mut master,
+        |res| {
+            out!("{}", res.text);
+            eprintln!("[{} took {:.1}s]\n", res.name, res.busy.as_secs_f64());
+        },
+    );
+    let text = obs::expose::prometheus(&master, &obs::span::snapshot());
+    match &out {
+        Some(dest) => {
+            if let Err(e) = std::fs::write(dest, &text) {
+                eprintln!("error: cannot write {dest}: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => print!("{text}"),
+    }
+}
+
+/// `bench-diff`: compare the `experiments` sections of two run reports,
+/// print per-metric deltas, and exit 3 when any metric moved more than
+/// the threshold — the regression gate behind committed `BENCH_*.json`
+/// snapshots.
+fn main_bench_diff(args: Vec<String>) {
+    let mut threshold = harness::DEFAULT_THRESHOLD_PCT;
+    let mut full = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => match parse_value::<f64>(&a, it.next()) {
+                Ok(v) if v >= 0.0 => threshold = v,
+                Ok(_) => usage_error("--threshold: must be non-negative"),
+                Err(m) => usage_error(&m),
+            },
+            "--full" => full = true,
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other if other.starts_with('-') => {
+                usage_error(&format!("unknown bench-diff option: {other}"))
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.len() != 2 {
+        usage_error("bench-diff takes exactly: bench-diff OLD.json NEW.json");
+    }
+    let load = |path: &str| -> JsonValue {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match JsonValue::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {path} is not valid JSON: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let old = load(&files[0]);
+    let new = load(&files[1]);
+    let diff = match harness::diff_reports(&old, &new, threshold) {
+        Ok(d) => d,
+        Err(m) => {
+            eprintln!("error: {m}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", diff.render(full));
+    let breaches = diff.breaches();
+    if breaches.is_empty() {
+        println!(
+            "OK: {} metrics within {:.2}% of {}",
+            diff.rows.len(),
+            threshold,
+            files[0]
+        );
+    } else {
+        println!(
+            "FAIL: {} of {} metrics moved more than {:.2}%",
+            breaches.len(),
+            diff.rows.len(),
+            threshold
+        );
+        std::process::exit(3);
+    }
+}
+
 /// Converts in whichever direction the input's magic bytes call for.
 fn convert_any(
     input: &str,
@@ -579,12 +850,17 @@ fn convert_any(
 fn print_usage() {
     eprintln!(
         "usage: harness [--scale F] [--seed N] [--jobs N|-jN] [--json PATH|-]\n\
-         \x20              [--trace-last N] <experiment>...\n\
+         \x20              [--trace-last N] [--timeline PATH]\n\
+         \x20              [--live-metrics PATH|-] [--live-interval-ms N]\n\
+         \x20              <experiment>...\n\
          \x20      harness record --out FILE [--scale F] [--seed N] <experiment>...\n\
          \x20      harness replay FILE [--json PATH|-] [--trace-last N]\n\
          \x20      harness convert IN OUT\n\
          \x20      harness explain <fig13|fig16> [--scale F] [--seed N] [--jobs N|-jN]\n\
          \x20              [--json PATH|-] [--top N] [--dump-provenance]\n\
+         \x20      harness export-metrics [--scale F] [--seed N] [--jobs N|-jN]\n\
+         \x20              [--out PATH] <experiment>...\n\
+         \x20      harness bench-diff OLD.json NEW.json [--threshold PCT] [--full]\n\
          experiments: fig1 fig8 fig9 fig10 fig12 fig13 fig16 fig18a fig18b\n\
          table2 fig19 ablate-queue ablate-filler ablate-confidence\n\
          ablate-depth prefetch limit all\n\
@@ -592,6 +868,11 @@ fn print_usage() {
          output is byte-identical for every worker count\n\
          --json writes a machine-readable run report (- for stdout)\n\
          --trace-last records pipeline events and dumps the final N\n\
+         --timeline exports a Chrome trace-event timeline (open in Perfetto\n\
+         or chrome://tracing): one track per worker, spans per cell\n\
+         --live-metrics streams periodic delta-compressed NDJSON metric\n\
+         snapshots while the run is going (- for stdout; tables move to\n\
+         stderr); --live-interval-ms sets the period (default 250)\n\
          record captures the instruction streams the named experiments\n\
          consume into a chunked, CRC-checked binary container; replay\n\
          re-runs them from the capture with identical results (always\n\
@@ -600,6 +881,11 @@ fn print_usage() {
          explain re-runs a gdiff-vs-stride comparison with the prediction\n\
          provenance tap on and prints per-PC / distance / value-delay\n\
          offender tables (byte-identical for every --jobs value);\n\
-         --dump-provenance includes the raw flight-recorder events"
+         --dump-provenance includes the raw flight-recorder events;\n\
+         export-metrics runs experiments and prints the merged registry\n\
+         in Prometheus text format (stdout, or --out FILE);\n\
+         bench-diff compares two --json run reports' experiments sections\n\
+         and exits 3 when any metric moved more than --threshold percent\n\
+         (default 5; --full lists unchanged metrics too)"
     );
 }

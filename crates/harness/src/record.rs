@@ -138,6 +138,7 @@ pub fn record(
     registry: &mut Registry,
 ) -> Result<RecordReport, TraceFileError> {
     let path = path.as_ref();
+    let _tl = obs::timeline::start("tracefile.record", "io");
     let mut w = TraceWriter::create(path, DEFAULT_CHUNK_CAP)?;
     let meta = JsonValue::object()
         .with("schema", META_SCHEMA)
@@ -272,6 +273,7 @@ pub fn open_replay(
     path: impl AsRef<Path>,
     registry: &mut Registry,
 ) -> Result<ReplayPlan, ReplayError> {
+    let _tl = obs::timeline::start("tracefile.replay.open", "io");
     let mut meter = Meter::new();
     let source = FileSource::open(path)?;
     let v = source.verified();

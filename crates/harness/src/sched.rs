@@ -25,7 +25,7 @@ use std::collections::VecDeque;
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-use obs::{JsonValue, Registry};
+use obs::{JsonValue, Registry, SharedRegistry};
 
 /// What a cell returns: one experiment-specific row, type-erased so the
 /// scheduler stays generic. The owning plan's `assemble` downcasts it.
@@ -172,6 +172,9 @@ impl<'a> Collector<'a> {
             }
             let (text, json) = (self.assemble[e].take().expect("assemble once"))(outputs);
             obs::span::record(format!("experiment.{}", self.names[e]), busy);
+            if obs::timeline::enabled() {
+                obs::timeline::instant(&format!("emit.{}", self.names[e]), "sched");
+            }
             emit(ExperimentOutput {
                 name: self.names[e].clone(),
                 text,
@@ -195,6 +198,26 @@ pub fn run_plans<'a>(
     plans: Vec<ExperimentPlan<'a>>,
     jobs: usize,
     master: &mut Registry,
+    emit: impl FnMut(ExperimentOutput),
+) -> usize {
+    run_plans_live(plans, jobs, master, None, emit)
+}
+
+/// [`run_plans`] with an optional live-telemetry sink.
+///
+/// When `live` is given, each completed cell's private registry also
+/// merges into the shared registry — *in completion order*, the moment the
+/// cell finishes — plus a `sched.cell_ms` histogram and a
+/// `sched.cell_ms.max` high-water gauge of per-cell wall time, so a
+/// [`Sampler`](obs::Sampler) can stream progress while the run is going.
+/// The live view is a wall-clock artifact like the `timings` section; the
+/// deterministic outputs (`emit` order, `master` contents, tables, the
+/// `experiments` report section) are byte-identical with or without it.
+pub fn run_plans_live<'a>(
+    plans: Vec<ExperimentPlan<'a>>,
+    jobs: usize,
+    master: &mut Registry,
+    live: Option<&SharedRegistry>,
     mut emit: impl FnMut(ExperimentOutput),
 ) -> usize {
     let mut collector = Collector {
@@ -216,10 +239,21 @@ pub fn run_plans<'a>(
     }
     let total_cells = queue.len();
     let workers = jobs.max(1).min(total_cells.max(1));
+    if let Some(live) = live {
+        live.with(|r| {
+            let g = r.gauge("sched.cells_total");
+            r.set_gauge(g, total_cells as f64);
+            let g = r.gauge("sched.jobs");
+            r.set_gauge(g, workers as f64);
+        });
+    }
 
     if workers <= 1 {
         while let Some((ei, ci, label, run)) = queue.pop_front() {
             let done = run_cell(label, run);
+            if let Some(live) = live {
+                publish_live(live, &done);
+            }
             collector.complete(ei, ci, done, master, &mut emit);
         }
         return total_cells;
@@ -228,16 +262,23 @@ pub fn run_plans<'a>(
     let queue = Mutex::new(queue);
     let (tx, rx) = mpsc::channel::<(usize, usize, DoneCell)>();
     std::thread::scope(|s| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let queue = &queue;
-            s.spawn(move || loop {
-                let job = queue.lock().unwrap().pop_front();
-                let Some((ei, ci, label, run)) = job else {
-                    break;
-                };
-                if tx.send((ei, ci, run_cell(label, run))).is_err() {
-                    break;
+            s.spawn(move || {
+                obs::timeline::set_thread_name(&format!("worker-{w}"));
+                loop {
+                    let job = queue.lock().unwrap().pop_front();
+                    let Some((ei, ci, label, run)) = job else {
+                        break;
+                    };
+                    let done = run_cell(label, run);
+                    if let Some(live) = live {
+                        publish_live(live, &done);
+                    }
+                    if tx.send((ei, ci, done)).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -251,12 +292,34 @@ pub fn run_plans<'a>(
     total_cells
 }
 
+/// Bucket count of the live `sched.cell_ms` wall-time histogram.
+const CELL_MS_BUCKETS: usize = 512;
+
+/// Feeds one finished cell into the live-telemetry registry.
+fn publish_live(live: &SharedRegistry, done: &DoneCell) {
+    live.merge(&done.registry);
+    let ms = done.busy.as_millis() as u64;
+    live.with(|r| {
+        let h = r.histogram("sched.cell_ms", CELL_MS_BUCKETS);
+        r.observe(h, ms);
+        let g = r.gauge("sched.cell_ms.max");
+        if ms as f64 > r.gauge_value(g) {
+            r.set_gauge(g, ms as f64);
+        }
+    });
+}
+
 fn run_cell(label: String, run: CellFn<'_>) -> DoneCell {
     let mut registry = Registry::new();
     let cells = registry.counter("sched.cells");
     registry.inc(cells);
     let per_cell = registry.counter(&format!("sched.cell.{label}"));
     registry.inc(per_cell);
+    let _tl = if obs::timeline::enabled() {
+        Some(obs::timeline::start(&format!("cell.{label}"), "cell"))
+    } else {
+        None
+    };
     let t0 = Instant::now();
     let out = run(&mut registry);
     DoneCell {
@@ -345,6 +408,36 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn live_registry_tracks_progress_without_changing_output() {
+        let live = SharedRegistry::new();
+        let plans = vec![
+            plan("slow", vec![1, 2, 3], 20),
+            plan("mid", vec![10, 20], 5),
+            plan("fast", vec![100, 200, 300, 400], 0),
+        ];
+        let mut master = Registry::new();
+        let mut text = String::new();
+        run_plans_live(plans, 4, &mut master, Some(&live), |out| {
+            text.push_str(&out.text);
+        });
+        // Deterministic output is untouched by the live sink.
+        let (_, text_ref, master_ref) = run(1);
+        assert_eq!(text, text_ref);
+        assert_eq!(
+            master.counter_by_name("test.total"),
+            master_ref.counter_by_name("test.total")
+        );
+        // The live view saw every cell plus the wall-time instrumentation.
+        let snap = live.snapshot();
+        assert_eq!(snap.counter_by_name("sched.cells"), Some(9));
+        assert_eq!(snap.gauge_by_name("sched.cells_total"), Some(9.0));
+        assert_eq!(snap.gauge_by_name("sched.jobs"), Some(4.0));
+        let h = snap.histogram_by_name("sched.cell_ms").expect("cell_ms");
+        assert_eq!(h.total(), 9);
+        assert!(snap.gauge_by_name("sched.cell_ms.max").unwrap() >= 20.0);
     }
 
     #[test]

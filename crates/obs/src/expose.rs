@@ -1,0 +1,300 @@
+//! Prometheus text-format exposition of a [`Registry`] and span table.
+//!
+//! Renders every metric in the stable, scrape-friendly shape a
+//! `/metrics` endpoint serves — the surface the future `serve` daemon
+//! mounts per tenant, and what `harness export-metrics` prints today:
+//!
+//! * counters and gauges become flat series under sanitized names
+//!   (`sched.cells` → `sched_cells`);
+//! * the per-cell scheduler counters (`sched.cell.<label>`) fold into one
+//!   family, `sched_cell_runs_total{cell="<label>"}`, so dashboards can
+//!   aggregate across cells with a stable label name;
+//! * histograms render as Prometheus summaries: `{quantile="0.5|0.9|0.99"}`
+//!   series plus `_sum` and `_count`;
+//! * wall-time spans render as the `span_seconds` summary family labeled
+//!   `{span="<name>"}`, exposing the p50/p99 tail latency per span.
+//!
+//! Output is sorted by family name, then label, so two exports of the
+//! same state are byte-identical.
+
+use crate::metrics::Registry;
+use crate::span::SpanStats;
+use std::fmt::Write as _;
+
+/// Maps a metric name onto the Prometheus name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`); anything else becomes `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a label value (backslash, quote, newline).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a sample value the exposition format accepts (`NaN`, `+Inf`,
+/// `-Inf` spelled Prometheus-style).
+fn number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+struct Family {
+    name: String,
+    kind: &'static str,
+    help: String,
+    /// `(labels-with-braces-or-empty, value)` samples, sorted at render.
+    samples: Vec<(String, String)>,
+}
+
+fn render_families(mut families: Vec<Family>) -> String {
+    families.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::new();
+    for f in &mut families {
+        f.samples.sort();
+        let _ = writeln!(out, "# HELP {} {}", f.name, f.help);
+        let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind);
+        for (labels, value) in &f.samples {
+            let _ = writeln!(out, "{}{} {}", f.name, labels, value);
+        }
+    }
+    out
+}
+
+/// Renders the registry (and, when given, the span table) in the
+/// Prometheus text exposition format.
+pub fn prometheus(reg: &Registry, spans: &[(String, SpanStats)]) -> String {
+    let mut families: Vec<Family> = Vec::new();
+
+    // Per-cell scheduler counters fold into one labeled family; everything
+    // else is a flat series.
+    let mut cell_runs: Vec<(String, String)> = Vec::new();
+    for (name, v) in reg.counters_iter() {
+        if let Some(label) = name.strip_prefix("sched.cell.") {
+            cell_runs.push((
+                format!("{{cell=\"{}\"}}", escape_label(label)),
+                v.to_string(),
+            ));
+            continue;
+        }
+        families.push(Family {
+            name: format!("{}_total", sanitize(name)),
+            kind: "counter",
+            help: format!("counter {name}"),
+            samples: vec![(String::new(), v.to_string())],
+        });
+    }
+    if !cell_runs.is_empty() {
+        families.push(Family {
+            name: "sched_cell_runs_total".to_string(),
+            kind: "counter",
+            help: "scheduler cell executions per (experiment, cell) label".to_string(),
+            samples: cell_runs,
+        });
+    }
+
+    for (name, v) in reg.gauges_iter() {
+        families.push(Family {
+            name: sanitize(name),
+            kind: "gauge",
+            help: format!("gauge {name}"),
+            samples: vec![(String::new(), number(v))],
+        });
+    }
+
+    for (name, h) in reg.histograms_iter() {
+        let base = sanitize(name);
+        let mut samples = Vec::new();
+        for (q, v) in [(0.5, h.p50()), (0.9, h.p90()), (0.99, h.p99())] {
+            samples.push((format!("{{quantile=\"{q}\"}}", q = q), v.to_string()));
+        }
+        families.push(Family {
+            name: base.clone(),
+            kind: "summary",
+            help: format!("histogram {name} (bucket-quantile summary)"),
+            samples,
+        });
+        families.push(Family {
+            name: format!("{base}_sum"),
+            kind: "counter",
+            help: format!("histogram {name} sum of observations"),
+            samples: vec![(String::new(), h.sum().to_string())],
+        });
+        families.push(Family {
+            name: format!("{base}_count"),
+            kind: "counter",
+            help: format!("histogram {name} observation count"),
+            samples: vec![(String::new(), h.total().to_string())],
+        });
+    }
+
+    if !spans.is_empty() {
+        let mut q_samples = Vec::new();
+        let mut sums = Vec::new();
+        let mut counts = Vec::new();
+        for (name, s) in spans {
+            let l = escape_label(name);
+            for (q, v) in [(0.5, s.p50()), (0.99, s.p99())] {
+                q_samples.push((
+                    format!("{{span=\"{l}\",quantile=\"{q}\"}}"),
+                    number(v.as_secs_f64()),
+                ));
+            }
+            sums.push((format!("{{span=\"{l}\"}}"), number(s.total.as_secs_f64())));
+            counts.push((format!("{{span=\"{l}\"}}"), s.count.to_string()));
+        }
+        families.push(Family {
+            name: "span_seconds".to_string(),
+            kind: "summary",
+            help: "wall-time span quantiles per span name".to_string(),
+            samples: q_samples,
+        });
+        families.push(Family {
+            name: "span_seconds_sum".to_string(),
+            kind: "counter",
+            help: "wall-time span total per span name".to_string(),
+            samples: sums,
+        });
+        families.push(Family {
+            name: "span_seconds_count".to_string(),
+            kind: "counter",
+            help: "wall-time span completions per span name".to_string(),
+            samples: counts,
+        });
+    }
+
+    render_families(families)
+}
+
+/// Checks one exposition-format document line by line; returns the first
+/// offending line. Used by tests and the CI smoke gate — not a full
+/// parser, but enough to reject malformed names, labels, and values.
+pub fn validate(text: &str) -> Result<(), String> {
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            return Err(format!("no value: {line}"));
+        };
+        let name_end = series.find('{').unwrap_or(series.len());
+        let (name, labels) = series.split_at(name_end);
+        let name_ok = !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+        if !name_ok {
+            return Err(format!("bad metric name: {line}"));
+        }
+        let labels_ok = labels.is_empty() || (labels.starts_with('{') && labels.ends_with('}'));
+        if !labels_ok {
+            return Err(format!("bad label block: {line}"));
+        }
+        let value_ok = matches!(value, "NaN" | "+Inf" | "-Inf") || value.parse::<f64>().is_ok();
+        if !value_ok {
+            return Err(format!("bad sample value: {line}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn sanitize_maps_to_prometheus_charset() {
+        assert_eq!(sanitize("sched.cells"), "sched_cells");
+        assert_eq!(sanitize("cell.fig8/ast"), "cell_fig8_ast");
+        assert_eq!(sanitize("9lives"), "_9lives");
+    }
+
+    #[test]
+    fn registry_renders_and_validates() {
+        let mut r = Registry::new();
+        let c = r.counter("sim.retired");
+        r.add(c, 12345);
+        let pc = r.counter("sched.cell.fig8/ast");
+        r.inc(pc);
+        let g = r.gauge("sim.ipc");
+        r.set_gauge(g, 1.25);
+        let h = r.histogram("sim.value_delay", 16);
+        for v in [1, 1, 5, 12] {
+            r.observe(h, v);
+        }
+        let mut spans = Vec::new();
+        let mut st = SpanStats::default();
+        st.add(Duration::from_millis(3));
+        st.add(Duration::from_millis(40));
+        spans.push(("cell.fig8/ast".to_string(), st));
+
+        let text = prometheus(&r, &spans);
+        validate(&text).expect("valid exposition format");
+        assert!(text.contains("# TYPE sim_retired_total counter"), "{text}");
+        assert!(text.contains("sim_retired_total 12345"));
+        assert!(text.contains("sched_cell_runs_total{cell=\"fig8/ast\"} 1"));
+        assert!(text.contains("sim_ipc 1.25"));
+        assert!(text.contains("sim_value_delay{quantile=\"0.99\"} 12"));
+        assert!(text.contains("sim_value_delay_count 4"));
+        assert!(text.contains("span_seconds{span=\"cell.fig8/ast\",quantile=\"0.99\"}"));
+        assert!(text.contains("span_seconds_count{span=\"cell.fig8/ast\"} 2"));
+    }
+
+    #[test]
+    fn output_is_stable_across_renders() {
+        let mut r = Registry::new();
+        // Register in one order...
+        let b = r.counter("b.metric");
+        let a = r.counter("a.metric");
+        r.inc(a);
+        r.add(b, 2);
+        let text1 = prometheus(&r, &[]);
+        // ...and the mirror order; rendered text sorts identically.
+        let mut r2 = Registry::new();
+        let a = r2.counter("a.metric");
+        let b = r2.counter("b.metric");
+        r2.add(b, 2);
+        r2.inc(a);
+        assert_eq!(text1, prometheus(&r2, &[]));
+        let a_pos = text1.find("a_metric_total 1").unwrap();
+        let b_pos = text1.find("b_metric_total 2").unwrap();
+        assert!(a_pos < b_pos, "families sort by name");
+    }
+
+    #[test]
+    fn non_finite_gauges_render_prometheus_style() {
+        let mut r = Registry::new();
+        let g = r.gauge("weird");
+        r.set_gauge(g, f64::INFINITY);
+        let text = prometheus(&r, &[]);
+        assert!(text.contains("weird +Inf"), "{text}");
+        validate(&text).expect("inf is valid");
+        assert!(validate("bad-name 1").is_err());
+        assert!(validate("name notanumber").is_err());
+    }
+}

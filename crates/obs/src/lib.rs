@@ -17,13 +17,23 @@
 //! - [`provenance`] — per-PC / per-distance / per-delay attribution of
 //!   value-prediction outcomes, with a bounded flight recorder for
 //!   mispredict forensics. Merges deterministically like [`Registry`].
+//! - [`sample`] — a background thread sampling a shared registry into
+//!   bounded, delta-compressed snapshots, streamed as NDJSON for live
+//!   progress (`--live-metrics`).
+//! - [`timeline`] — begin/end/instant lifecycle events exported as Chrome
+//!   trace-event JSON (`--timeline`), one track per worker thread.
+//! - [`expose`] — Prometheus text-format exposition of a registry and the
+//!   span table (`export-metrics`, the future serve daemon's `/metrics`).
 
 #![forbid(unsafe_code)]
 
+pub mod expose;
 pub mod json;
 pub mod metrics;
 pub mod provenance;
+pub mod sample;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use json::JsonValue;
@@ -31,5 +41,6 @@ pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, Meter, Registry};
 pub use provenance::{
     FlightRecorder, NullSink, PredictionMade, PredictionResolved, Provenance, ProvenanceSink,
 };
+pub use sample::{Sampler, SharedRegistry};
 pub use span::{span, SpanGuard, SpanStats};
 pub use trace::{tracer, TraceEvent, TraceKind, Tracer};

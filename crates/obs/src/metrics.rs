@@ -135,6 +135,11 @@ impl Histogram {
         self.total
     }
 
+    /// Sum of all recorded values (true magnitudes, not clamped).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Bucket count (`max + 1`).
     pub fn len(&self) -> usize {
         self.buckets.len()
@@ -294,6 +299,14 @@ impl Registry {
         }
     }
 
+    /// Looks a gauge up by name (reporting paths).
+    pub fn gauge_by_name(&self, name: &str) -> Option<f64> {
+        match self.index.get(name) {
+            Some(&(Kind::Gauge, i)) => Some(self.gauges[i].1),
+            _ => None,
+        }
+    }
+
     /// Looks a histogram up by name (reporting paths).
     pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
         match self.index.get(name) {
@@ -302,9 +315,32 @@ impl Registry {
         }
     }
 
-    /// Merges `other` into `self` by metric name: counters add, gauges
-    /// take `other`'s value, histograms merge bucket-wise. Metrics unknown
-    /// to `self` are registered.
+    /// All counters in registration order.
+    pub fn counters_iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges in registration order.
+    pub fn gauges_iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms in registration order.
+    pub fn histograms_iter(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Merges `other` into `self` by metric name: counters add and
+    /// histograms merge bucket-wise. Metrics unknown to `self` are
+    /// registered.
+    ///
+    /// Gauge semantics are **last-writer-wins**: the merged gauge takes
+    /// `other`'s value, so in the scheduler's cell-order merge the last
+    /// cell to publish a gauge decides it (deterministic, because merge
+    /// order is cell order — never completion order). The one exception
+    /// is gauges whose name ends in `.max`, which merge by **maximum** —
+    /// use that suffix for high-water marks that must survive merging
+    /// regardless of order.
     pub fn merge(&mut self, other: &Registry) {
         for (name, v) in &other.counters {
             let id = self.counter(name);
@@ -312,7 +348,12 @@ impl Registry {
         }
         for (name, v) in &other.gauges {
             let id = self.gauge(name);
-            self.set_gauge(id, *v);
+            let merged = if name.ends_with(".max") {
+                self.gauge_value(id).max(*v)
+            } else {
+                *v
+            };
+            self.set_gauge(id, merged);
         }
         for (name, h) in &other.histograms {
             let id = self.histogram(name, h.len() - 1);

@@ -18,13 +18,76 @@ use crate::json::JsonValue;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// Number of log2 duration buckets kept per span name: bucket `i` counts
+/// durations in `[2^i, 2^(i+1))` microseconds, covering sub-µs to ~6 days.
+const LOG2_BUCKETS: usize = 40;
+
 /// Aggregated timing for one span name.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Alongside count and total, each name keeps a fixed log2-bucketed
+/// histogram of individual durations, so cross-thread aggregation via
+/// [`record`] still exposes tail latency ([`p50`](Self::p50) /
+/// [`p99`](Self::p99)) — count+total alone hides a slow outlier cell
+/// behind a healthy mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanStats {
     /// How many spans with this name have completed.
     pub count: u64,
     /// Total wall time across those spans.
     pub total: Duration,
+    /// Per-duration log2 buckets (microseconds).
+    buckets: [u32; LOG2_BUCKETS],
+}
+
+impl Default for SpanStats {
+    fn default() -> Self {
+        SpanStats {
+            count: 0,
+            total: Duration::ZERO,
+            buckets: [0; LOG2_BUCKETS],
+        }
+    }
+}
+
+impl SpanStats {
+    /// Folds one completed span duration in.
+    pub fn add(&mut self, elapsed: Duration) {
+        self.count += 1;
+        self.total += elapsed;
+        let us = elapsed.as_micros().max(1) as u64;
+        let bucket = (63 - us.leading_zeros() as usize).min(LOG2_BUCKETS - 1);
+        self.buckets[bucket] = self.buckets[bucket].saturating_add(1);
+    }
+
+    /// The `q`-quantile duration (`0.0 < q <= 1.0`), estimated as the
+    /// midpoint of the log2 bucket the quantile falls in — ~±50% of the
+    /// true duration, which is what tail attribution needs (orders of
+    /// magnitude, not nanoseconds). Zero when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let need = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n as u64;
+            if cum >= need {
+                // Midpoint of [2^i, 2^(i+1)) µs.
+                return Duration::from_micros(3 * (1u64 << i) / 2);
+            }
+        }
+        Duration::from_micros(3 * (1u64 << (LOG2_BUCKETS - 1)) / 2)
+    }
+
+    /// Median duration estimate.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile duration estimate.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
 }
 
 static SPANS: Mutex<Vec<(String, SpanStats)>> = Mutex::new(Vec::new());
@@ -50,17 +113,12 @@ pub fn record(name: impl Into<String>, elapsed: Duration) {
     let name = name.into();
     let mut spans = SPANS.lock().unwrap();
     match spans.iter_mut().find(|(n, _)| *n == name) {
-        Some((_, s)) => {
-            s.count += 1;
-            s.total += elapsed;
+        Some((_, s)) => s.add(elapsed),
+        None => {
+            let mut s = SpanStats::default();
+            s.add(elapsed);
+            spans.push((name, s));
         }
-        None => spans.push((
-            name,
-            SpanStats {
-                count: 1,
-                total: elapsed,
-            },
-        )),
     }
 }
 
@@ -82,14 +140,17 @@ pub fn reset() {
     SPANS.lock().unwrap().clear();
 }
 
-/// The table as a JSON object: `name -> {count, total_ms}`.
+/// The table as a JSON object:
+/// `name -> {count, total_ms, p50_ms, p99_ms}`.
 pub fn to_json() -> JsonValue {
     snapshot()
         .into_iter()
         .map(|(name, s)| {
             let entry = JsonValue::object()
                 .with("count", s.count)
-                .with("total_ms", s.total.as_secs_f64() * 1e3);
+                .with("total_ms", s.total.as_secs_f64() * 1e3)
+                .with("p50_ms", s.p50().as_secs_f64() * 1e3)
+                .with("p99_ms", s.p99().as_secs_f64() * 1e3);
             (name, entry)
         })
         .collect()
@@ -115,7 +176,38 @@ mod tests {
         // Span names contain dots, so index with `get` rather than `path`.
         let beta_count = j.get("test.span.beta").and_then(|v| v.get("count"));
         assert_eq!(beta_count.and_then(|v| v.as_f64()), Some(1.0));
+        assert!(
+            j.get("test.span.alpha")
+                .and_then(|v| v.get("p99_ms"))
+                .is_some(),
+            "span table exposes tail latency"
+        );
         reset();
         assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn quantiles_separate_the_tail_from_the_median() {
+        let mut s = SpanStats::default();
+        // 90 fast spans around 100 µs, 10 slow outliers at ~100 ms.
+        for _ in 0..90 {
+            s.add(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            s.add(Duration::from_millis(100));
+        }
+        assert_eq!(s.count, 100);
+        // p50 lands in the 64–128 µs bucket, p99 in an ms-scale bucket.
+        let p50 = s.p50();
+        let p99 = s.p99();
+        assert!(
+            p50 >= Duration::from_micros(64) && p50 < Duration::from_micros(200),
+            "{p50:?}"
+        );
+        assert!(p99 >= Duration::from_millis(50), "{p99:?}");
+        // count+total alone would report a 1.1 ms mean — the tail is 90x.
+        assert!(p99 > p50 * 100);
+        assert_eq!(SpanStats::default().p99(), Duration::ZERO);
+        assert_eq!(s.quantile(1.0), p99);
     }
 }

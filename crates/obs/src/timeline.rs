@@ -1,0 +1,359 @@
+//! Structured begin/end/instant events exported as Chrome trace JSON.
+//!
+//! A process-global timeline records coarse lifecycle events — scheduler
+//! cells, simulator phases, tracefile I/O — each stamped with a wall-clock
+//! microsecond offset and a small per-thread id, and exports them in the
+//! Chrome trace-event format that Perfetto and `chrome://tracing` load
+//! directly. A 17-experiment `-j8` run becomes a visual per-worker
+//! timeline.
+//!
+//! Like [`trace`](crate::trace), the timeline is off by default: a
+//! disabled instrumentation site costs one relaxed atomic load. Events are
+//! coarse (milliseconds of work each), so the enabled path may lock and
+//! allocate without distorting what it measures — the per-instruction hot
+//! path is never instrumented here.
+//!
+//! ```
+//! obs::timeline::enable(1024);
+//! obs::timeline::set_thread_name("main");
+//! {
+//!     let _s = obs::timeline::start("doctest.cell", "cell");
+//!     obs::timeline::instant("doctest.mark", "cell");
+//! }
+//! let json = obs::timeline::export();
+//! assert!(obs::timeline::recorded() >= 2);
+//! obs::timeline::disable();
+//! assert!(json.as_arr().unwrap().len() >= 3, "2 events + thread name");
+//! ```
+
+use crate::json::JsonValue;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How an event renders in the Chrome trace format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// A complete span (`ph: "X"`): begin timestamp plus duration.
+    Complete,
+    /// A thread-scoped instant (`ph: "i"`).
+    Instant,
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    name: String,
+    cat: &'static str,
+    phase: Phase,
+    /// Microseconds since [`enable`].
+    ts_us: u64,
+    /// Duration in microseconds ([`Phase::Complete`] only).
+    dur_us: u64,
+    tid: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Timestamp origin; `None` until the first [`enable`].
+    base: Option<Instant>,
+    events: Vec<Event>,
+    cap: usize,
+    /// Events rejected because the buffer was full.
+    dropped: u64,
+    /// Total events accepted since [`enable`].
+    recorded: u64,
+    /// `(tid, name)` labels registered via [`set_thread_name`].
+    thread_names: Vec<(u64, String)>,
+}
+
+static ON: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<State> = Mutex::new(State {
+    base: None,
+    events: Vec::new(),
+    cap: 0,
+    dropped: 0,
+    recorded: 0,
+    thread_names: Vec::new(),
+});
+
+/// Monotonic thread-id source; ids are assigned on first use per thread.
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The calling thread's stable small timeline id.
+pub fn thread_id() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// Whether the timeline is collecting. Instrumentation sites branch on
+/// this, so a disabled timeline costs one relaxed load per site.
+#[inline]
+pub fn enabled() -> bool {
+    ON.load(Ordering::Relaxed)
+}
+
+/// Turns the timeline on with room for `capacity` events, resetting the
+/// timestamp origin and discarding anything previously recorded. Events
+/// past the capacity are counted as dropped, keeping the oldest — the
+/// run's overall shape — rather than the newest.
+pub fn enable(capacity: usize) {
+    let mut s = STATE.lock().unwrap();
+    *s = State {
+        base: Some(Instant::now()),
+        events: Vec::new(),
+        cap: capacity.max(1),
+        dropped: 0,
+        recorded: 0,
+        thread_names: Vec::new(),
+    };
+    drop(s);
+    ON.store(true, Ordering::Relaxed);
+}
+
+/// Turns the timeline off. Recorded events stay exportable until the next
+/// [`enable`].
+pub fn disable() {
+    ON.store(false, Ordering::Relaxed);
+}
+
+/// Labels the calling thread in the exported trace (one track per named
+/// thread). No-op while disabled.
+pub fn set_thread_name(name: &str) {
+    if !enabled() {
+        return;
+    }
+    let tid = thread_id();
+    let mut s = STATE.lock().unwrap();
+    match s.thread_names.iter_mut().find(|(t, _)| *t == tid) {
+        Some((_, n)) => *n = name.to_string(),
+        None => s.thread_names.push((tid, name.to_string())),
+    }
+}
+
+fn now_us(s: &State) -> u64 {
+    s.base.map(|b| b.elapsed().as_micros() as u64).unwrap_or(0)
+}
+
+fn push(s: &mut State, ev: Event) {
+    if s.events.len() < s.cap {
+        s.events.push(ev);
+        s.recorded += 1;
+    } else {
+        s.dropped += 1;
+    }
+}
+
+/// A span in flight: created by [`start`], records a complete event on
+/// drop. Inert (and free beyond the construction-time check) when the
+/// timeline was disabled at [`start`].
+#[derive(Debug)]
+pub struct TimelineSpan {
+    pending: Option<(String, &'static str, u64, u64)>,
+}
+
+impl Drop for TimelineSpan {
+    fn drop(&mut self) {
+        let Some((name, cat, ts_us, tid)) = self.pending.take() else {
+            return;
+        };
+        if !enabled() {
+            return;
+        }
+        let mut s = STATE.lock().unwrap();
+        let dur_us = now_us(&s).saturating_sub(ts_us);
+        push(
+            &mut s,
+            Event {
+                name,
+                cat,
+                phase: Phase::Complete,
+                ts_us,
+                dur_us,
+                tid,
+            },
+        );
+    }
+}
+
+/// Starts a named span on the calling thread's track. Returns an inert
+/// guard when the timeline is off.
+pub fn start(name: &str, cat: &'static str) -> TimelineSpan {
+    if !enabled() {
+        return TimelineSpan { pending: None };
+    }
+    let ts_us = now_us(&STATE.lock().unwrap());
+    TimelineSpan {
+        pending: Some((name.to_string(), cat, ts_us, thread_id())),
+    }
+}
+
+/// Records a thread-scoped instant event. No-op while disabled.
+pub fn instant(name: &str, cat: &'static str) {
+    if !enabled() {
+        return;
+    }
+    let mut s = STATE.lock().unwrap();
+    let ts_us = now_us(&s);
+    push(
+        &mut s,
+        Event {
+            name: name.to_string(),
+            cat,
+            phase: Phase::Instant,
+            ts_us,
+            dur_us: 0,
+            tid: thread_id(),
+        },
+    );
+}
+
+/// Events accepted since the last [`enable`].
+pub fn recorded() -> u64 {
+    STATE.lock().unwrap().recorded
+}
+
+/// Events rejected because the buffer was full.
+pub fn dropped() -> u64 {
+    STATE.lock().unwrap().dropped
+}
+
+/// Exports everything recorded so far as a Chrome trace-event JSON array
+/// (the format Perfetto and `chrome://tracing` load): one `thread_name`
+/// metadata record per labeled thread, then the events in record order.
+/// Timestamps are microseconds since [`enable`]; all events share
+/// `pid: 1`.
+pub fn export() -> JsonValue {
+    let s = STATE.lock().unwrap();
+    let mut arr = Vec::with_capacity(s.thread_names.len() + s.events.len());
+    for (tid, name) in &s.thread_names {
+        arr.push(
+            JsonValue::object()
+                .with("ph", "M")
+                .with("pid", 1u64)
+                .with("tid", *tid)
+                .with("name", "thread_name")
+                .with("args", JsonValue::object().with("name", name.clone())),
+        );
+    }
+    for ev in &s.events {
+        let mut j = JsonValue::object()
+            .with("name", ev.name.clone())
+            .with("cat", ev.cat)
+            .with("pid", 1u64)
+            .with("tid", ev.tid)
+            .with("ts", ev.ts_us);
+        match ev.phase {
+            Phase::Complete => {
+                j = j.with("ph", "X").with("dur", ev.dur_us);
+            }
+            Phase::Instant => {
+                // Scope "t": the instant belongs to one thread's track.
+                j = j.with("ph", "i").with("s", "t");
+            }
+        }
+        arr.push(j);
+    }
+    JsonValue::Arr(arr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests share the process-global timeline; serialize enable/disable.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_timeline_records_nothing() {
+        let _g = TEST_LOCK.lock().unwrap();
+        enable(8);
+        disable();
+        instant("x", "t");
+        let _s = start("y", "t");
+        drop(_s);
+        assert_eq!(recorded(), 0);
+    }
+
+    #[test]
+    fn spans_and_instants_export_as_chrome_events() {
+        let _g = TEST_LOCK.lock().unwrap();
+        enable(64);
+        set_thread_name("tester");
+        {
+            let _s = start("unit.work", "cell");
+            instant("unit.mark", "cell");
+        }
+        disable();
+        assert_eq!(recorded(), 2);
+        let arr = export();
+        let events = arr.as_arr().expect("array export");
+        // Metadata first.
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").and_then(|v| v.as_str()), Some("M"));
+        assert_eq!(
+            meta.path("args.name").and_then(|v| v.as_str()),
+            Some("tester")
+        );
+        let complete = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+            .expect("complete event");
+        assert_eq!(
+            complete.get("name").and_then(|v| v.as_str()),
+            Some("unit.work")
+        );
+        assert!(complete.get("dur").and_then(|v| v.as_f64()).is_some());
+        let inst = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some("i"))
+            .expect("instant event");
+        assert_eq!(inst.get("s").and_then(|v| v.as_str()), Some("t"));
+        // The export round-trips through the strict parser.
+        let text = arr.to_json();
+        assert_eq!(JsonValue::parse(&text).unwrap(), arr);
+    }
+
+    #[test]
+    fn capacity_overflow_keeps_oldest_and_counts_drops() {
+        let _g = TEST_LOCK.lock().unwrap();
+        enable(3);
+        for i in 0..10 {
+            instant(&format!("e{i}"), "t");
+        }
+        disable();
+        assert_eq!(recorded(), 3);
+        assert_eq!(dropped(), 7);
+        let arr = export();
+        let names: Vec<&str> = arr
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("i"))
+            .filter_map(|e| e.get("name").and_then(|v| v.as_str()))
+            .collect();
+        assert_eq!(names, vec!["e0", "e1", "e2"]);
+    }
+
+    #[test]
+    fn timestamps_are_monotone_per_thread() {
+        let _g = TEST_LOCK.lock().unwrap();
+        enable(64);
+        for i in 0..5 {
+            instant(&format!("m{i}"), "t");
+        }
+        disable();
+        let arr = export();
+        let ts: Vec<f64> = arr
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("i"))
+            .filter_map(|e| e.get("ts").and_then(|v| v.as_f64()))
+            .collect();
+        assert_eq!(ts.len(), 5);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+}

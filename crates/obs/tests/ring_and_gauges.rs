@@ -1,0 +1,143 @@
+//! Edge-case coverage for the ring tracer under wrap-around and for
+//! `Registry` gauge merge semantics.
+//!
+//! The ring tracer backs `--trace-last` forensics: when the ring wraps it
+//! must keep exactly the newest events, oldest-first, with per-thread
+//! cycle stamps staying monotonic. Gauge merging backs the scheduler's
+//! deterministic cell-order merge: last-writer by default, maximum for
+//! `.max`-suffixed high-water marks — both asserted here so the contract
+//! is executable, not just documented.
+
+use obs::trace::{tracer, TraceEvent, TraceKind};
+use obs::Registry;
+use std::sync::Mutex;
+
+// The tracer is process-global; serialize tests that reconfigure it.
+static TRACER_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn wrap_around_keeps_exactly_the_newest_events() {
+    let _g = TRACER_LOCK.lock().unwrap();
+    let cap = 8usize;
+    tracer().enable(cap);
+    for i in 0..100u64 {
+        tracer().emit(TraceEvent::new(i, i, 0x1000 + i, TraceKind::Commit));
+    }
+    tracer().disable();
+    assert_eq!(tracer().recorded(), 100, "drops are counted, not silent");
+
+    // The full ring is the last `cap` events, oldest first.
+    let tail = tracer().last(cap);
+    let cycles: Vec<u64> = tail.iter().map(|e| e.cycle).collect();
+    assert_eq!(cycles, (92..100).collect::<Vec<u64>>());
+    // Partial reads take the newest suffix.
+    let tail3: Vec<u64> = tracer().last(3).iter().map(|e| e.cycle).collect();
+    assert_eq!(tail3, vec![97, 98, 99]);
+    // Over-asking caps at the retained count.
+    assert_eq!(tracer().last(1_000).len(), cap);
+}
+
+#[test]
+fn wrap_around_at_every_fill_ratio() {
+    let _g = TRACER_LOCK.lock().unwrap();
+    // Sweep fill counts through under-full, exactly-full, and wrapped
+    // states; the retained window must always be the newest events in
+    // emission order.
+    let cap = 5usize;
+    for n in [0u64, 1, 4, 5, 6, 9, 10, 11, 23] {
+        tracer().enable(cap);
+        for i in 0..n {
+            tracer().emit(TraceEvent::new(i, i, 0, TraceKind::Issue));
+        }
+        tracer().disable();
+        let got: Vec<u64> = tracer().last(cap).iter().map(|e| e.cycle).collect();
+        let want: Vec<u64> = (n.saturating_sub(cap as u64)..n).collect();
+        assert_eq!(got, want, "fill={n}");
+        assert_eq!(tracer().recorded(), n);
+    }
+}
+
+#[test]
+fn cycle_stamps_stay_monotonic_per_thread_across_wrap() {
+    let _g = TRACER_LOCK.lock().unwrap();
+    tracer().enable(16);
+    // Two "threads" (disambiguated by pc) interleave, each emitting
+    // monotonically increasing cycle stamps — as concurrent simulator
+    // cells do. Far more events than capacity, so the ring wraps often.
+    let mut next = [0u64; 2];
+    for i in 0..200u64 {
+        let t = (i % 2) as usize;
+        next[t] += 1 + (i % 3);
+        tracer().emit(TraceEvent::new(next[t], i, t as u64, TraceKind::Dispatch));
+    }
+    tracer().disable();
+    let tail = tracer().last(16);
+    assert_eq!(tail.len(), 16);
+    for t in 0..2u64 {
+        let cycles: Vec<u64> = tail.iter().filter(|e| e.pc == t).map(|e| e.cycle).collect();
+        assert!(
+            cycles.windows(2).all(|w| w[0] < w[1]),
+            "thread {t} stamps not monotonic after wrap: {cycles:?}"
+        );
+    }
+}
+
+#[test]
+fn gauge_merge_is_last_writer_by_default() {
+    let mut a = Registry::new();
+    let ga = a.gauge("sim.ipc");
+    a.set_gauge(ga, 2.5);
+
+    let mut b = Registry::new();
+    let gb = b.gauge("sim.ipc");
+    b.set_gauge(gb, 0.5);
+
+    // Last writer wins even when the incoming value is smaller…
+    a.merge(&b);
+    assert_eq!(a.gauge_by_name("sim.ipc"), Some(0.5));
+    // …and merge order decides the outcome (cell order in the scheduler).
+    let mut a2 = Registry::new();
+    let g = a2.gauge("sim.ipc");
+    a2.set_gauge(g, 0.5);
+    let mut b2 = Registry::new();
+    let g = b2.gauge("sim.ipc");
+    b2.set_gauge(g, 2.5);
+    a2.merge(&b2);
+    assert_eq!(a2.gauge_by_name("sim.ipc"), Some(2.5));
+}
+
+#[test]
+fn max_suffixed_gauges_merge_by_maximum() {
+    let mut a = Registry::new();
+    let g = a.gauge("sched.cell_ms.max");
+    a.set_gauge(g, 40.0);
+
+    let mut b = Registry::new();
+    let g = b.gauge("sched.cell_ms.max");
+    b.set_gauge(g, 12.0);
+
+    // Smaller incoming value does not regress the high-water mark…
+    a.merge(&b);
+    assert_eq!(a.gauge_by_name("sched.cell_ms.max"), Some(40.0));
+    // …while a larger one advances it; order no longer matters.
+    let mut c = Registry::new();
+    let g = c.gauge("sched.cell_ms.max");
+    c.set_gauge(g, 99.0);
+    a.merge(&c);
+    assert_eq!(a.gauge_by_name("sched.cell_ms.max"), Some(99.0));
+}
+
+#[test]
+fn gauge_merge_registers_unknown_names() {
+    let mut a = Registry::new();
+    let mut b = Registry::new();
+    let g = b.gauge("only.in.b");
+    b.set_gauge(g, 7.0);
+    let m = b.gauge("fresh.max");
+    b.set_gauge(m, 3.0);
+    a.merge(&b);
+    assert_eq!(a.gauge_by_name("only.in.b"), Some(7.0));
+    // A `.max` gauge unknown to self starts from the default 0.0 and
+    // takes the maximum of that and the incoming value.
+    assert_eq!(a.gauge_by_name("fresh.max"), Some(3.0));
+}

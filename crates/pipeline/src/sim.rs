@@ -296,6 +296,9 @@ impl Simulator {
         let mut trace_done = false;
 
         // --- warm-up phase ---
+        // Timeline spans mark the phase boundaries on the worker's track;
+        // when the timeline is off each costs one relaxed atomic load.
+        let tl_warmup = obs::timeline::start("sim.warmup", "sim");
         let mut last_progress = (0u64, 0u64);
         while self.retired() < warmup
             && !(trace_done && self.rob.is_empty() && self.dispatch_queue.is_empty())
@@ -303,6 +306,7 @@ impl Simulator {
             trace_done |= self.step(&mut trace, observer);
             last_progress = self.check_watchdog(last_progress);
         }
+        drop(tl_warmup);
 
         // Reset measurement counters.
         for id in [
@@ -329,12 +333,14 @@ impl Simulator {
         observer.measurement_started();
 
         // --- measurement phase ---
+        let tl_measure = obs::timeline::start("sim.measure", "sim");
         while self.retired() < measure
             && !(trace_done && self.rob.is_empty() && self.dispatch_queue.is_empty())
         {
             trace_done |= self.step(&mut trace, observer);
             last_progress = self.check_watchdog(last_progress);
         }
+        drop(tl_measure);
 
         let d_hits = self.dcache.hits() - dcache_base.0;
         let d_misses = self.dcache.misses() - dcache_base.1;

@@ -1,0 +1,225 @@
+//! End-to-end coverage of the live telemetry surface through the binary:
+//! `--timeline` emits loadable Chrome trace JSON, `--live-metrics` streams
+//! parseable NDJSON snapshots, `export-metrics` produces valid Prometheus
+//! text, `bench-diff` gates on the report's experiments section — and none
+//! of it changes the deterministic outputs (stdout tables, the
+//! `experiments` report section).
+
+use obs::JsonValue;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "gdiff-telemetry-test-{}-{name}",
+        std::process::id()
+    ));
+    p
+}
+
+fn harness() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_harness"))
+}
+
+struct Run {
+    stdout: Vec<u8>,
+    experiments: String,
+}
+
+/// Runs `fig9 fig12` at a small scale, optionally with the telemetry taps
+/// on, returning the deterministic surface plus the telemetry artifacts.
+fn run(telemetry: bool, tag: &str) -> (Run, Option<String>, Option<String>) {
+    let json = tmp_path(&format!("{tag}.json"));
+    let timeline = tmp_path(&format!("{tag}-timeline.json"));
+    let ndjson = tmp_path(&format!("{tag}-metrics.ndjson"));
+    let mut cmd = harness();
+    cmd.args([
+        "fig9", "fig12", "--scale", "0.05", "--seed", "7", "-j2", "--json",
+    ]);
+    cmd.arg(&json);
+    if telemetry {
+        cmd.arg("--timeline").arg(&timeline);
+        cmd.arg("--live-metrics").arg(&ndjson);
+        cmd.args(["--live-interval-ms", "50"]);
+    }
+    let out = cmd.output().expect("harness runs");
+    assert!(
+        out.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = std::fs::read_to_string(&json).expect("report written");
+    std::fs::remove_file(&json).ok();
+    let parsed = JsonValue::parse(&report).expect("report parses");
+    let experiments = parsed.get("experiments").expect("experiments").to_json();
+    let tl = telemetry.then(|| {
+        let t = std::fs::read_to_string(&timeline).expect("timeline written");
+        std::fs::remove_file(&timeline).ok();
+        t
+    });
+    let nd = telemetry.then(|| {
+        let t = std::fs::read_to_string(&ndjson).expect("ndjson written");
+        std::fs::remove_file(&ndjson).ok();
+        t
+    });
+    (
+        Run {
+            stdout: out.stdout,
+            experiments,
+        },
+        tl,
+        nd,
+    )
+}
+
+#[test]
+fn telemetry_leaves_deterministic_outputs_untouched() {
+    let (plain, _, _) = run(false, "off");
+    let (live, timeline, ndjson) = run(true, "on");
+    assert_eq!(
+        live.stdout, plain.stdout,
+        "stdout tables must be byte-identical with telemetry on"
+    );
+    assert_eq!(
+        live.experiments, plain.experiments,
+        "experiments section must be identical with telemetry on"
+    );
+
+    // --timeline: a Chrome trace-event array with named worker tracks and
+    // per-cell spans.
+    let tl = JsonValue::parse(timeline.as_deref().unwrap()).expect("timeline is valid JSON");
+    let events = tl.as_arr().expect("trace-event array");
+    let thread_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("M"))
+        .filter_map(|e| e.path("args.name").and_then(|v| v.as_str()))
+        .collect();
+    assert!(thread_names.contains(&"main"), "{thread_names:?}");
+    assert!(
+        thread_names.iter().any(|n| n.starts_with("worker-")),
+        "worker tracks: {thread_names:?}"
+    );
+    let cell_spans: Vec<&JsonValue> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+        .filter(|e| {
+            e.get("name")
+                .and_then(|v| v.as_str())
+                .is_some_and(|n| n.starts_with("cell."))
+        })
+        .collect();
+    assert!(
+        cell_spans.len() >= 11,
+        "one span per cell (10 fig9 + 1 fig12), got {}",
+        cell_spans.len()
+    );
+    for span in &cell_spans {
+        assert!(span.get("ts").and_then(|v| v.as_f64()).is_some());
+        assert!(span.get("dur").and_then(|v| v.as_f64()).is_some());
+        assert!(span.get("tid").and_then(|v| v.as_f64()).is_some());
+    }
+
+    // --live-metrics: >= 2 schema-tagged NDJSON records with contiguous
+    // sequence numbers, and the final cumulative cell count matches.
+    let lines: Vec<&str> = ndjson.as_deref().unwrap().lines().collect();
+    assert!(lines.len() >= 2, "baseline + final, got {}", lines.len());
+    let mut cells_total = 0.0;
+    for (i, line) in lines.iter().enumerate() {
+        let rec = JsonValue::parse(line).expect("each line parses standalone");
+        assert_eq!(
+            rec.get("schema").and_then(|v| v.as_str()),
+            Some("gdiff-metrics-snapshot/v1")
+        );
+        assert_eq!(rec.get("seq").and_then(|v| v.as_f64()), Some(i as f64));
+        if let Some(d) = rec
+            .get("counters")
+            .and_then(|c| c.get("sched.cells"))
+            .and_then(|v| v.as_f64())
+        {
+            cells_total += d;
+        }
+    }
+    assert_eq!(cells_total, 11.0, "snapshot deltas sum to the cell count");
+}
+
+#[test]
+fn export_metrics_emits_valid_prometheus_text() {
+    let out = harness()
+        .args(["export-metrics", "fig9", "--scale", "0.05", "--seed", "7"])
+        .output()
+        .expect("harness runs");
+    assert!(
+        out.status.success(),
+        "export-metrics failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("utf-8");
+    obs::expose::validate(&text).expect("exposition validates");
+    assert!(text.contains("# TYPE sched_cell_runs_total counter"));
+    assert!(text.contains("sched_cell_runs_total{cell=\"fig9/mcf\"} 1"));
+    assert!(text.contains("span_seconds{span=\"experiment.fig9\",quantile=\"0.99\"}"));
+}
+
+#[test]
+fn bench_diff_gates_on_threshold() {
+    // Two real reports at the same seed/scale: identical, so the gate
+    // passes even at threshold 0.
+    let a = tmp_path("diff-a.json");
+    let b = tmp_path("diff-b.json");
+    for p in [&a, &b] {
+        let out = harness()
+            .args(["fig12", "--scale", "0.05", "--seed", "7", "--json"])
+            .arg(p)
+            .output()
+            .expect("harness runs");
+        assert!(out.status.success());
+    }
+    let ok = harness()
+        .arg("bench-diff")
+        .args([&a, &b])
+        .args(["--threshold", "0"])
+        .output()
+        .expect("bench-diff runs");
+    assert!(ok.status.success(), "identical reports must pass");
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("OK"));
+
+    // Perturb one experiments metric past the threshold: exit code 3.
+    let text = std::fs::read_to_string(&b).unwrap();
+    let mut doc = JsonValue::parse(&text).unwrap();
+    let ipc = doc
+        .path("experiments.fig12.mean_delay")
+        .or_else(|| doc.path("experiments.fig12"))
+        .expect("fig12 section")
+        .clone();
+    // Find any numeric leaf to perturb; fall back to injecting one.
+    let perturbed = match ipc {
+        JsonValue::Num(n) => JsonValue::Num(n * 2.0 + 1.0),
+        _ => JsonValue::Num(123.0),
+    };
+    if let Some(exp) = doc.get("experiments") {
+        let mut exp = exp.clone();
+        if let Some(fig12) = exp.get("fig12") {
+            let mut fig12 = fig12.clone();
+            fig12.set("injected_metric", perturbed);
+            exp.set("fig12", fig12);
+        }
+        doc.set("experiments", exp);
+    }
+    std::fs::write(&b, doc.to_json_pretty()).unwrap();
+    let fail = harness()
+        .arg("bench-diff")
+        .args([&a, &b])
+        .args(["--threshold", "5"])
+        .output()
+        .expect("bench-diff runs");
+    assert_eq!(
+        fail.status.code(),
+        Some(3),
+        "a new/moved metric must exit 3: {}",
+        String::from_utf8_lossy(&fail.stdout)
+    );
+    assert!(String::from_utf8_lossy(&fail.stdout).contains("FAIL"));
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
