@@ -39,6 +39,7 @@ pub mod record;
 pub mod render;
 pub mod report;
 pub mod sched;
+pub mod serve_cli;
 
 pub use addr::{fig18, fig18_bench, fig18_on, Fig18Row};
 pub use benchdiff::{diff_reports, DiffReport, DiffRow, DEFAULT_THRESHOLD_PCT};

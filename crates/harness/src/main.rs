@@ -20,12 +20,16 @@
 //! the input's magic bytes); `export-metrics <experiment>...` runs
 //! experiments and prints the merged registry in Prometheus text format;
 //! `bench-diff <old.json> <new.json>` compares two run reports and fails
-//! past a regression threshold.
+//! past a regression threshold; `serve` runs the `gdiff-serve/v1`
+//! multi-session prediction daemon (Unix socket, `--stdio`, or
+//! `--selftest`); `serve-client` streams a trace or synthesized benchmark
+//! to a running daemon and prints the returned report.
 
 use harness::cells::{plan_for, ALL_EXPERIMENTS};
 use harness::record::{open_replay, record};
 use harness::report::{RunReport, Table};
 use harness::sched::{default_jobs, run_plans, run_plans_live};
+use harness::serve_cli;
 use harness::RunParams;
 use obs::trace::tracer;
 use obs::{JsonValue, Registry, Sampler, SharedRegistry};
@@ -183,6 +187,14 @@ fn main() {
         Some("bench-diff") => {
             args.remove(0);
             main_bench_diff(args)
+        }
+        Some("serve") => {
+            args.remove(0);
+            main_serve(args)
+        }
+        Some("serve-client") => {
+            args.remove(0);
+            main_serve_client(args)
         }
         _ => main_run(args),
     }
@@ -847,6 +859,36 @@ fn convert_any(
     }
 }
 
+fn main_serve(args: Vec<String>) {
+    let opts = match serve_cli::parse_serve_args(args) {
+        Ok(o) => o,
+        Err(msg) if msg.is_empty() => {
+            print_usage();
+            return;
+        }
+        Err(msg) => usage_error(&msg),
+    };
+    if let Err(e) = serve_cli::run_serve(&opts) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main_serve_client(args: Vec<String>) {
+    let opts = match serve_cli::parse_serve_client_args(args) {
+        Ok(o) => o,
+        Err(msg) if msg.is_empty() => {
+            print_usage();
+            return;
+        }
+        Err(msg) => usage_error(&msg),
+    };
+    if let Err(e) = serve_cli::run_serve_client(&opts) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn print_usage() {
     eprintln!(
         "usage: harness [--scale F] [--seed N] [--jobs N|-jN] [--json PATH|-]\n\
@@ -861,6 +903,12 @@ fn print_usage() {
          \x20      harness export-metrics [--scale F] [--seed N] [--jobs N|-jN]\n\
          \x20              [--out PATH] <experiment>...\n\
          \x20      harness bench-diff OLD.json NEW.json [--threshold PCT] [--full]\n\
+         \x20      harness serve (--socket PATH | --stdio | --selftest)\n\
+         \x20              [--max-sessions N] [--queue-depth N] [--global-queue N]\n\
+         \x20              [--scale F] [--seed N]\n\
+         \x20      harness serve-client --socket PATH [--trace FILE | --stream BENCH]\n\
+         \x20              [--session NAME] [--window N] [--warmup N] [--measure N]\n\
+         \x20              [--scale F] [--seed N] [--status] [--metrics] [--shutdown]\n\
          experiments: fig1 fig8 fig9 fig10 fig12 fig13 fig16 fig18a fig18b\n\
          table2 fig19 ablate-queue ablate-filler ablate-confidence\n\
          ablate-depth prefetch limit all\n\
@@ -886,6 +934,13 @@ fn print_usage() {
          in Prometheus text format (stdout, or --out FILE);\n\
          bench-diff compares two --json run reports' experiments sections\n\
          and exits 3 when any metric moved more than --threshold percent\n\
-         (default 5; --full lists unchanged metrics too)"
+         (default 5; --full lists unchanged metrics too);\n\
+         serve runs the gdiff-serve/v1 prediction daemon on a Unix socket\n\
+         (--stdio: one session over stdin/stdout; --selftest: record,\n\
+         stream, and diff every benchmark against a one-shot run);\n\
+         serve-client streams a recorded trace (--trace, one session per\n\
+         stream) or a synthesized benchmark (--stream) to a daemon and\n\
+         prints the final report JSON; --status/--metrics/--shutdown are\n\
+         daemon control requests"
     );
 }

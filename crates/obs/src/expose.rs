@@ -9,6 +9,11 @@
 //! * the per-cell scheduler counters (`sched.cell.<label>`) fold into one
 //!   family, `sched_cell_runs_total{cell="<label>"}`, so dashboards can
 //!   aggregate across cells with a stable label name;
+//! * the serve daemon's per-tenant series (`serve.session.<name>.<metric>`)
+//!   fold the same way: one family per metric, labeled by session —
+//!   counters as `serve_session_<metric>_total{session="<name>"}`, gauges
+//!   as `serve_session_<metric>{session="<name>"}` (session names are
+//!   `[A-Za-z0-9_-]`, so the final dot always splits name from metric);
 //! * histograms render as Prometheus summaries: `{quantile="0.5|0.9|0.99"}`
 //!   series plus `_sum` and `_count`;
 //! * wall-time spans render as the `span_seconds` summary family labeled
@@ -38,6 +43,13 @@ pub fn sanitize(name: &str) -> String {
         out.insert(0, '_');
     }
     out
+}
+
+/// Splits a `serve.session.<name>.<metric>` series into its session label
+/// and metric. Session names never contain dots, so the *last* dot is the
+/// boundary; a remainder without a dot is not a per-session series.
+fn split_session_series(name: &str) -> Option<(&str, &str)> {
+    name.strip_prefix("serve.session.")?.rsplit_once('.')
 }
 
 /// Escapes a label value (backslash, quote, newline).
@@ -86,15 +98,27 @@ fn render_families(mut families: Vec<Family>) -> String {
 pub fn prometheus(reg: &Registry, spans: &[(String, SpanStats)]) -> String {
     let mut families: Vec<Family> = Vec::new();
 
-    // Per-cell scheduler counters fold into one labeled family; everything
-    // else is a flat series.
+    // Per-cell scheduler counters and per-session serve series fold into
+    // labeled families; everything else is a flat series.
     let mut cell_runs: Vec<(String, String)> = Vec::new();
+    let mut session_counters: std::collections::BTreeMap<String, Vec<(String, String)>> =
+        std::collections::BTreeMap::new();
     for (name, v) in reg.counters_iter() {
         if let Some(label) = name.strip_prefix("sched.cell.") {
             cell_runs.push((
                 format!("{{cell=\"{}\"}}", escape_label(label)),
                 v.to_string(),
             ));
+            continue;
+        }
+        if let Some((session, metric)) = split_session_series(name) {
+            session_counters
+                .entry(metric.to_string())
+                .or_default()
+                .push((
+                    format!("{{session=\"{}\"}}", escape_label(session)),
+                    v.to_string(),
+                ));
             continue;
         }
         families.push(Family {
@@ -112,13 +136,38 @@ pub fn prometheus(reg: &Registry, spans: &[(String, SpanStats)]) -> String {
             samples: cell_runs,
         });
     }
+    for (metric, samples) in session_counters {
+        families.push(Family {
+            name: format!("serve_session_{}_total", sanitize(&metric)),
+            kind: "counter",
+            help: format!("serve daemon per-session counter {metric}"),
+            samples,
+        });
+    }
 
+    let mut session_gauges: std::collections::BTreeMap<String, Vec<(String, String)>> =
+        std::collections::BTreeMap::new();
     for (name, v) in reg.gauges_iter() {
+        if let Some((session, metric)) = split_session_series(name) {
+            session_gauges.entry(metric.to_string()).or_default().push((
+                format!("{{session=\"{}\"}}", escape_label(session)),
+                number(v),
+            ));
+            continue;
+        }
         families.push(Family {
             name: sanitize(name),
             kind: "gauge",
             help: format!("gauge {name}"),
             samples: vec![(String::new(), number(v))],
+        });
+    }
+    for (metric, samples) in session_gauges {
+        families.push(Family {
+            name: format!("serve_session_{}", sanitize(&metric)),
+            kind: "gauge",
+            help: format!("serve daemon per-session gauge {metric}"),
+            samples,
         });
     }
 
@@ -263,6 +312,34 @@ mod tests {
         assert!(text.contains("sim_value_delay_count 4"));
         assert!(text.contains("span_seconds{span=\"cell.fig8/ast\",quantile=\"0.99\"}"));
         assert!(text.contains("span_seconds_count{span=\"cell.fig8/ast\"} 2"));
+    }
+
+    #[test]
+    fn per_session_series_fold_into_labeled_families() {
+        let mut r = Registry::new();
+        for session in ["gcc", "mcf"] {
+            let c = r.counter(&format!("serve.session.{session}.chunks"));
+            r.add(c, 7);
+            let g = r.gauge(&format!("serve.session.{session}.accuracy"));
+            r.set_gauge(g, 0.75);
+        }
+        // A daemon-level series must stay flat.
+        let c = r.counter("serve.chunks");
+        r.add(c, 14);
+
+        let text = prometheus(&r, &[]);
+        validate(&text).expect("valid exposition");
+        assert!(
+            text.contains("serve_session_chunks_total{session=\"gcc\"} 7"),
+            "{text}"
+        );
+        assert!(text.contains("serve_session_chunks_total{session=\"mcf\"} 7"));
+        assert!(text.contains("serve_session_accuracy{session=\"gcc\"} 0.75"));
+        assert!(text.contains("# TYPE serve_session_accuracy gauge"));
+        assert!(text.contains("# TYPE serve_session_chunks_total counter"));
+        assert!(text.contains("serve_chunks_total 14"));
+        // One HELP/TYPE block per family, not per session.
+        assert_eq!(text.matches("# TYPE serve_session_chunks_total").count(), 1);
     }
 
     #[test]

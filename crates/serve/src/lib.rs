@@ -1,0 +1,73 @@
+//! `gdiffd` — a multi-session value-prediction daemon.
+//!
+//! The paper evaluates gDiff one trace at a time; the north star is a
+//! service that multiplexes many live value streams. This crate is that
+//! layer: a std-only, long-running daemon that accepts streaming
+//! instruction traces over a Unix-domain socket (or stdio), runs one
+//! independent gDiff predictor + Global Value Queue per session through
+//! the §3 profile-mode loop, and reports per-session accuracy/coverage
+//! live — bit-identical to what the same trace produces in a one-shot
+//! `harness` run, because the feed loop is the same loop.
+//!
+//! # The `gdiff-serve/v1` protocol
+//!
+//! Transport: a byte stream (Unix socket or stdio pipe). Every message is
+//! one CRC-framed message (see [`frame`] for the byte layout). A normal
+//! session conversation:
+//!
+//! ```text
+//! client                                server
+//! ──────────────────────────────────────────────────────────────────
+//! HELLO {schema, session, order,
+//!        table, delay, warmup,
+//!        measure, hold?}          →
+//!                                 ←     WELCOME {session, chunk_cap,
+//!                                                queue}
+//! CHUNK seq=0 ‖ wire chunk        →
+//! CHUNK seq=1 ‖ wire chunk        →
+//!                                 ←     ACK {chunks, records, producers,
+//!                                            total, predicted, correct,
+//!                                            accuracy}
+//!                                 ←     BUSY {accepted}   (queue full —
+//!                                        resend from seq = accepted)
+//! STATUS_REQ                      →
+//!                                 ←     STATUS {schema, session, server}
+//! BYE                             →
+//!                                 ←     REPORT {schema, session, reason,
+//!                                               chunks, records,
+//!                                               producers, total,
+//!                                               predicted, correct,
+//!                                               accuracy, coverage}
+//! ```
+//!
+//! Chunk payloads are **verbatim tracefile wire chunks** (the footerless
+//! stream profile of the container format — see `tracefile::stream`),
+//! prefixed with a little-endian `u64` sequence number. The server accepts
+//! only the exact next sequence number, so backpressure refusals
+//! (go-back-N) can never reorder or duplicate predictor updates.
+//!
+//! Control conversations (no session): `STATUS_REQ` → `STATUS`,
+//! `METRICS_REQ` → `METRICS` (Prometheus exposition text), `SHUTDOWN` →
+//! `STATUS`, after which the daemon drains every live session — in-flight
+//! chunks are processed, each session receives a final `REPORT` with
+//! `reason: "shutdown"` — and exits.
+//!
+//! Failure containment: a malformed frame or a CRC-corrupt chunk draws one
+//! `ERROR` frame and kills that session only; the daemon keeps serving
+//! everyone else. A session evicted to make room (LRU, `--max-sessions`)
+//! gets `ERROR {code: "evicted"}`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod session;
+
+/// Schema tag of HELLO/WELCOME payloads — the protocol version.
+pub const PROTOCOL_SCHEMA: &str = "gdiff-serve/v1";
+
+pub use client::{ClientError, SessionOutcome};
+pub use server::{serve_stdio, ServeConfig, Server, ServerHandle, ServerState};
+pub use session::{SessionCore, SessionParams};

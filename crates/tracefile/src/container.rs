@@ -34,6 +34,17 @@
 //! Chunks are self-contained (the delta state resets per chunk), so a
 //! reader can seek straight to any chunk via the footer index and decode
 //! chunks in any order — or in parallel.
+//!
+//! # Footerless stream profile
+//!
+//! The footer only exists once a writer finishes, which rules it out for
+//! live pipes and sockets. The [`stream`](crate::stream) module defines a
+//! second profile of this same format for non-seekable streams: the
+//! identical 24-byte header, the identical self-validating chunks, no
+//! footer/trailer, and a mandatory 16-byte end marker (reserved stream id
+//! `0xFFFF_FFFF`, zero count) so truncation is always detectable. A chunk
+//! copied verbatim out of a finished container
+//! ([`TraceReader::read_chunk_raw`]) is a valid stream chunk.
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -687,6 +698,24 @@ impl<R: Read + Seek> TraceReader<R> {
         let mut out = Vec::new();
         self.read_chunk_into(i, &mut out)?;
         Ok(out)
+    }
+
+    /// Reads chunk `i` verbatim — 16-byte chunk header plus compressed
+    /// payload — after full validation, without decoding it.
+    ///
+    /// Because chunks are self-contained (the delta state resets at every
+    /// chunk boundary), the returned bytes are a valid wire chunk for the
+    /// footerless stream profile: a client can ship them to a serve
+    /// session unmodified and the receiver re-validates the embedded CRC.
+    pub fn read_chunk_raw(&mut self, i: usize) -> Result<Vec<u8>, TraceFileError> {
+        // Validate first so corruption can't ride along unnoticed.
+        let mut scratch = Vec::new();
+        self.read_chunk_into(i, &mut scratch)?;
+        let entry = self.index[i];
+        self.r.seek(SeekFrom::Start(entry.offset))?;
+        let mut raw = vec![0u8; CHUNK_HEADER_LEN as usize + entry.payload_len as usize];
+        self.r.read_exact(&mut raw)?;
+        Ok(raw)
     }
 
     /// Decodes every chunk, validating the whole file end to end.

@@ -10,6 +10,9 @@
 //!
 //! * [`TraceWriter`] / [`TraceReader`] — streaming container I/O,
 //!   constant memory, no mmap; see [`container`] for the byte layout.
+//! * [`StreamWriter`] / [`StreamReader`] — the footerless stream profile
+//!   for non-seekable pipes and sockets (the serve daemon's wire format);
+//!   see [`stream`] for the layout and the end-marker rule.
 //! * [`convert`] — text ⇄ binary conversion.
 //! * [`FileSource`] — a `workloads::TraceSource` backed by a trace file,
 //!   making captured traces interchangeable with the synthetic models.
@@ -49,6 +52,7 @@ pub mod container;
 pub mod convert;
 pub mod crc32;
 mod source;
+pub mod stream;
 pub mod varint;
 
 pub use container::{
@@ -57,3 +61,7 @@ pub use container::{
 };
 pub use convert::{binary_to_text, text_to_binary, ConvertStats};
 pub use source::FileSource;
+pub use stream::{
+    decode_wire_chunk, encode_wire_chunk, StreamReader, StreamWriter, WireChunk, WireError,
+    END_MARKER, END_STREAM_ID,
+};

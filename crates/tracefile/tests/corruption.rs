@@ -113,3 +113,75 @@ fn corruption_reports_are_printable_and_typed() {
     assert!(msg.contains("chunk 0"), "message was: {msg}");
     assert!(msg.contains("offset 24"), "message was: {msg}");
 }
+
+/// Footerless stream profile: the stream id and the reserved header field
+/// are opaque (nothing cross-checks them without a footer), so the
+/// guarantee is record integrity, not every-flip detection — any
+/// single-byte flip either surfaces as an `Err` or decodes records
+/// identical to the clean stream. No flip may silently alter data.
+#[test]
+fn stream_profile_flips_never_silently_alter_records() {
+    use tracefile::StreamReader;
+
+    let insts: Vec<DynInst> = Benchmark::Gcc.build(5).take(120).collect();
+    let mut w = tracefile::StreamWriter::new(Vec::new(), 32, 0).unwrap();
+    for inst in &insts {
+        w.push(inst).unwrap();
+    }
+    let clean = w.finish().unwrap();
+
+    let decode_all = |bytes: &[u8]| -> Result<Vec<DynInst>, TraceFileError> {
+        let mut r = StreamReader::new(bytes)?;
+        let mut out = Vec::new();
+        while r.next_chunk_into(&mut out)?.is_some() {}
+        Ok(out)
+    };
+    assert_eq!(decode_all(&clean).expect("clean stream decodes"), insts);
+
+    for pos in 0..clean.len() {
+        for bit in 0..8 {
+            let mut bad = clean.clone();
+            bad[pos] ^= 1 << bit;
+            if let Ok(decoded) = decode_all(&bad) {
+                assert_eq!(
+                    decoded, insts,
+                    "flip at byte {pos} bit {bit} silently altered records"
+                );
+            }
+        }
+    }
+}
+
+/// Streams cut short anywhere — even exactly at a chunk boundary where
+/// the end marker should have followed — are corrupt, never silent.
+#[test]
+fn stream_profile_truncations_are_detected() {
+    let insts: Vec<DynInst> = Benchmark::Gcc.build(9).take(200).collect();
+    let mut w = tracefile::StreamWriter::new(Vec::new(), 64, 0).unwrap();
+    for inst in &insts {
+        w.push(inst).unwrap();
+    }
+    let clean = w.finish().unwrap();
+
+    for keep in 0..clean.len() {
+        let cut = &clean[..keep];
+        let failed = match tracefile::StreamReader::new(cut) {
+            Err(_) => true,
+            Ok(mut r) => {
+                let mut out = Vec::new();
+                loop {
+                    match r.next_chunk_into(&mut out) {
+                        Ok(Some(_)) => {}
+                        Ok(None) => break false,
+                        Err(_) => break true,
+                    }
+                }
+            }
+        };
+        assert!(
+            failed,
+            "truncation to {keep} of {} bytes went undetected",
+            clean.len()
+        );
+    }
+}

@@ -87,6 +87,46 @@ fn unknown_subcommand_flags_are_rejected() {
 }
 
 #[test]
+fn serve_args_are_validated() {
+    assert_usage_error(&["serve"], "serve needs --socket PATH");
+    assert_usage_error(&["serve", "--bogus"], "unknown serve option: --bogus");
+    assert_usage_error(&["serve", "--stdio", "--max-sessions", "0"], "at least 1");
+    assert_usage_error(&["serve", "--stdio", "--queue-depth", "0"], "at least 1");
+    assert_usage_error(
+        &["serve", "--socket", "/nonexistent-dir-xyz/gdiffd.sock"],
+        "does not exist",
+    );
+    assert_usage_error(&["serve", "--stdio", "--selftest"], "mutually exclusive");
+}
+
+#[test]
+fn serve_client_args_are_validated() {
+    assert_usage_error(&["serve-client", "--status"], "serve-client needs --socket");
+    assert_usage_error(
+        &["serve-client", "--socket", "/tmp/x.sock"],
+        "needs something to do",
+    );
+    assert_usage_error(
+        &[
+            "serve-client",
+            "--socket",
+            "/tmp/x.sock",
+            "--stream",
+            "nope",
+        ],
+        "unknown benchmark 'nope'",
+    );
+    assert_usage_error(
+        &["serve-client", "-q", "--socket", "/tmp/x.sock"],
+        "unknown serve-client option: -q",
+    );
+    assert_usage_error(
+        &["serve-client", "--socket", "/tmp/x.sock", "--window", "0"],
+        "at least 1",
+    );
+}
+
+#[test]
 fn help_exits_zero() {
     let out = run(&["--help"]);
     assert!(out.status.success());

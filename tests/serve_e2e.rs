@@ -1,0 +1,234 @@
+//! End-to-end daemon tests through real child processes: `harness serve`
+//! on a Unix socket, `harness serve-client` streaming a recorded trace,
+//! control requests, graceful shutdown — and the built-in selftest.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use obs::JsonValue;
+use predictors::{Capacity, ValuePredictor};
+use workloads::{Benchmark, SyntheticSource, TraceSource};
+
+const SCALE: &str = "0.02";
+const SEED: u64 = 42;
+
+fn harness() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_harness"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gdiff-e2e-{}-{name}", std::process::id()))
+}
+
+fn wait_for_socket(path: &std::path::Path) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !path.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "daemon never bound {}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The one-shot profile-loop reference for one benchmark at the e2e scale.
+fn direct_reference(bench: Benchmark) -> predictors::PredictorStats {
+    let params = harness::RunParams::profile_default().scaled(SCALE.parse().unwrap());
+    let source = SyntheticSource::new(SEED);
+    let mut p = gdiff::GDiffPredictor::new(Capacity::Unbounded, 8);
+    let mut stats = predictors::PredictorStats::new();
+    for (n, inst) in source
+        .stream(bench)
+        .filter(|i| i.produces_value())
+        .take((params.warmup + params.measure) as usize)
+        .enumerate()
+    {
+        let predicted = p.predict(inst.pc);
+        if (n as u64) >= params.warmup {
+            stats.record(predicted, false, inst.value);
+        }
+        p.update(inst.pc, inst.value);
+    }
+    stats
+}
+
+#[test]
+fn daemon_serves_a_recorded_trace_end_to_end() {
+    let trace = tmp("e2e.trace");
+    let sock = tmp("e2e.sock");
+
+    // Record the capture the daemon will be fed.
+    let rec = harness()
+        .args(["record", "--out"])
+        .arg(&trace)
+        .args(["--scale", SCALE, "fig8"])
+        .output()
+        .expect("record runs");
+    assert!(
+        rec.status.success(),
+        "record failed: {}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
+
+    // Start the daemon as a real child process.
+    let mut daemon = harness()
+        .args(["serve", "--socket"])
+        .arg(&sock)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    wait_for_socket(&sock);
+
+    // Stream every recorded stream; one report JSON per session on stdout.
+    let cli = harness()
+        .args(["serve-client", "--socket"])
+        .arg(&sock)
+        .arg("--trace")
+        .arg(&trace)
+        .output()
+        .expect("serve-client runs");
+    assert!(
+        cli.status.success(),
+        "serve-client failed: {}",
+        String::from_utf8_lossy(&cli.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&cli.stdout);
+    let reports: Vec<JsonValue> = stdout
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| JsonValue::parse(l).expect("report line parses as JSON"))
+        .collect();
+    assert_eq!(
+        reports.len(),
+        Benchmark::ALL.len(),
+        "one report per recorded stream: {stdout}"
+    );
+    for report in &reports {
+        assert_eq!(
+            report.path("schema").and_then(|v| v.as_str()),
+            Some("gdiff-serve-report/v1")
+        );
+        assert_eq!(report.path("reason").and_then(|v| v.as_str()), Some("bye"));
+        let bench_name = report.path("session").and_then(|v| v.as_str()).unwrap();
+        let bench = Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name() == bench_name)
+            .expect("session named after a benchmark");
+        // Bit-identical to the same-seed one-shot run.
+        let direct = direct_reference(bench);
+        let get = |k: &str| report.path(k).and_then(|v| v.as_f64()).unwrap();
+        assert_eq!(get("total") as u64, direct.total(), "{bench_name} total");
+        assert_eq!(
+            get("predicted") as u64,
+            direct.predicted(),
+            "{bench_name} predicted"
+        );
+        assert_eq!(
+            get("correct") as u64,
+            direct.correct(),
+            "{bench_name} correct"
+        );
+        assert_eq!(get("accuracy"), direct.accuracy(), "{bench_name} accuracy");
+    }
+
+    // Control requests: status JSON, validated exposition, then shutdown.
+    let ctl = harness()
+        .args(["serve-client", "--socket"])
+        .arg(&sock)
+        .args(["--status", "--metrics", "--shutdown"])
+        .output()
+        .expect("control serve-client runs");
+    assert!(
+        ctl.status.success(),
+        "control requests failed: {}",
+        String::from_utf8_lossy(&ctl.stderr)
+    );
+    let out = String::from_utf8_lossy(&ctl.stdout);
+    assert!(out.contains("gdiff-serve-status/v1"), "status frame: {out}");
+    assert!(
+        out.contains("serve_sessions_started_total"),
+        "daemon counters in exposition: {out}"
+    );
+    assert!(
+        out.contains("serve_session_accuracy{"),
+        "per-session series in exposition: {out}"
+    );
+
+    // The daemon drains and exits 0 after SHUTDOWN.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(s) = daemon.try_wait().expect("try_wait") {
+            break s;
+        }
+        if Instant::now() >= deadline {
+            let _ = daemon.kill();
+            panic!("daemon did not exit after SHUTDOWN");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.success(), "daemon exit status: {status:?}");
+    assert!(!sock.exists(), "daemon removes its socket file");
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn synthesized_stream_session_reports_bye() {
+    let sock = tmp("synth.sock");
+    let mut daemon = harness()
+        .args(["serve", "--socket"])
+        .arg(&sock)
+        .args(["--max-sessions", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    wait_for_socket(&sock);
+
+    let cli = harness()
+        .args(["serve-client", "--socket"])
+        .arg(&sock)
+        .args([
+            "--stream",
+            "gcc",
+            "--scale",
+            SCALE,
+            "--window",
+            "2",
+            "--shutdown",
+        ])
+        .output()
+        .expect("serve-client runs");
+    assert!(
+        cli.status.success(),
+        "serve-client failed: {}",
+        String::from_utf8_lossy(&cli.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&cli.stdout);
+    let report = JsonValue::parse(stdout.lines().next().expect("report line")).unwrap();
+    assert_eq!(report.path("session").and_then(|v| v.as_str()), Some("gcc"));
+    assert_eq!(report.path("reason").and_then(|v| v.as_str()), Some("bye"));
+    let direct = direct_reference(Benchmark::Gcc);
+    assert_eq!(
+        report.path("accuracy").and_then(|v| v.as_f64()),
+        Some(direct.accuracy())
+    );
+    daemon.wait().expect("daemon exits after shutdown");
+}
+
+#[test]
+fn selftest_passes_at_small_scale() {
+    let out = harness()
+        .args(["serve", "--selftest", "--scale", SCALE])
+        .output()
+        .expect("selftest runs");
+    assert!(
+        out.status.success(),
+        "selftest failed: stdout {} stderr {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("serve selftest OK"));
+}
