@@ -6,9 +6,17 @@
 //! and the per-completion scratch is a stack array plus an availability
 //! bitmask. `gdiff_update/order_*` is the acceptance series for hot-path
 //! changes; `gvq/*` covers the queue half of the pair.
+//!
+//! The vectorization legs compare three formulations of the same update:
+//! `gdiff_update` (the closure wrapper, one `back(k)` read per distance),
+//! `gdiff_update_batched` (one `window` pass feeding the lane-parallel
+//! `update_from_window` kernel — the production path inside the
+//! predictors), and `gdiff_update_scalar_ref` (the retained pre-vectorized
+//! scan in `gdiff::reference`, the equivalence oracle's cost).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gdiff::{GDiffCore, GlobalValueQueue};
+use gdiff::reference::ReferenceCore;
+use gdiff::{GDiffCore, GlobalValueQueue, MAX_ORDER};
 use predictors::Capacity;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,14 +67,69 @@ fn bench_gvq_push(c: &mut Criterion) {
     g.finish();
 }
 
+/// Orders swept by the vectorization comparison legs: the paper's profile
+/// order (8), the SGVQ order (32), and the two extremes of the lane grid.
+const SWEEP_ORDERS: [usize; 4] = [4, 8, 32, 64];
+
 fn bench_gdiff_update(c: &mut Criterion) {
     // One update computes `order` differences against the queue, selects a
     // distance, and stores the vector — all without heap allocation.
     let mut g = c.benchmark_group("gdiff_update");
     g.throughput(Throughput::Elements(1));
-    for order in [8usize, 32] {
+    for order in SWEEP_ORDERS {
         g.bench_with_input(BenchmarkId::new("order", order), &order, |b, &order| {
             let mut core = GDiffCore::new(Capacity::Entries(8192), order);
+            let mut q = GlobalValueQueue::new(order);
+            for i in 0..order as u64 * 2 {
+                q.push(i * 3);
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                core.update_with(black_box(0x40), black_box(i * 7), |k| q.back(k));
+                q.push(i * 7);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gdiff_update_batched(c: &mut Criterion) {
+    // The production hot path: one window read, then the chunked
+    // compare-and-store kernel over the packed availability mask.
+    let mut g = c.benchmark_group("gdiff_update_batched");
+    g.throughput(Throughput::Elements(1));
+    for order in SWEEP_ORDERS {
+        g.bench_with_input(BenchmarkId::new("order", order), &order, |b, &order| {
+            let mut core = GDiffCore::new(Capacity::Entries(8192), order);
+            let mut q = GlobalValueQueue::new(order);
+            for i in 0..order as u64 * 2 {
+                q.push(i * 3);
+            }
+            let mut i = 0u64;
+            // Reused scratch, as in the predictors: unmasked lanes are
+            // unspecified by contract, so no per-iteration re-zeroing.
+            let mut window = [0u64; MAX_ORDER];
+            b.iter(|| {
+                i += 1;
+                let avail = q.window(&mut window);
+                core.update_from_window(black_box(0x40), black_box(i * 7), &window, avail);
+                q.push(i * 7);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_gdiff_update_scalar_ref(c: &mut Criterion) {
+    // The retained scalar formulation (equivalence oracle): allocating,
+    // one closure call per distance. Not a production path; benched so the
+    // vectorization win stays visible in one report.
+    let mut g = c.benchmark_group("gdiff_update_scalar_ref");
+    g.throughput(Throughput::Elements(1));
+    for order in SWEEP_ORDERS {
+        g.bench_with_input(BenchmarkId::new("order", order), &order, |b, &order| {
+            let mut core = ReferenceCore::new(Capacity::Entries(8192), order);
             let mut q = GlobalValueQueue::new(order);
             for i in 0..order as u64 * 2 {
                 q.push(i * 3);
@@ -233,6 +296,8 @@ criterion_group!(
     benches,
     bench_gvq_push,
     bench_gdiff_update,
+    bench_gdiff_update_batched,
+    bench_gdiff_update_scalar_ref,
     bench_gdiff_predict_update_round,
     bench_telemetry_overhead_guard
 );

@@ -5,7 +5,7 @@ use predictors::{
     Capacity, ConfidenceConfig, ConfidenceTable, GatedPrediction, StridePredictor, ValuePredictor,
 };
 
-use crate::{GDiffCore, GlobalValueQueue, SlotId};
+use crate::{GDiffCore, GlobalValueQueue, SlotId, MAX_ORDER};
 
 /// Dispatch-time state for one in-flight instruction under
 /// [`HgvqPredictor`].
@@ -89,6 +89,9 @@ pub struct HgvqPredictor<F = StridePredictor> {
     queue: GlobalValueQueue,
     confidence: ConfidenceTable,
     filler: F,
+    /// Reusable window scratch (unmasked lanes are unspecified by
+    /// contract, so no per-writeback re-zeroing).
+    window: [u64; MAX_ORDER],
 }
 
 impl HgvqPredictor<StridePredictor> {
@@ -128,6 +131,7 @@ impl<F: ValuePredictor> HgvqPredictor<F> {
             queue: GlobalValueQueue::new(order),
             confidence: ConfidenceTable::new(confidence, config),
             filler,
+            window: [0; MAX_ORDER],
         }
     }
 
@@ -166,9 +170,10 @@ impl<F: ValuePredictor> HgvqPredictor<F> {
     /// confidence counter, and the filler.
     pub fn writeback(&mut self, pc: u64, token: &HgvqToken, actual: u64) {
         self.queue.patch(token.slot, actual);
-        let queue = &self.queue;
+        // One slot-anchored window read feeds the batched update kernel.
+        let avail = self.queue.window_from(token.slot, &mut self.window);
         self.core
-            .update_with(pc, actual, |k| queue.back_from(token.slot, k));
+            .update_from_window(pc, actual, &self.window, avail);
         if let Some(p) = token.prediction {
             self.confidence.train(pc, p.value == actual);
         }

@@ -41,6 +41,14 @@
 //!   write-back. This removes the variation, hides the delay, and lets one
 //!   structure exploit local *and* global stride locality.
 //!
+//! # Hot path
+//!
+//! The per-completion update runs as a lane-parallel kernel over a queue
+//! window read in one pass ([`GlobalValueQueue::window`] /
+//! [`GDiffCore::update_from_window`]); the per-distance closure API remains
+//! as a thin compatibility wrapper, and [`reference::ReferenceCore`] keeps
+//! the scalar formulation as the equivalence-test oracle.
+//!
 //! # Quick start
 //!
 //! ```
@@ -71,6 +79,7 @@ mod delay;
 mod hybrid;
 mod predictor;
 mod queue;
+pub mod reference;
 mod speculative;
 mod table;
 

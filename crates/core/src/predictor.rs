@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use predictors::{Capacity, ValuePredictor};
 
-use crate::{GDiffCore, GlobalValueQueue};
+use crate::{GDiffCore, GlobalValueQueue, MAX_ORDER};
 
 /// The gDiff predictor with a committed, in-order global value queue — the
 /// configuration of the paper's §3 profile studies (Figures 8–10).
@@ -57,6 +57,10 @@ pub struct GDiffPredictor {
     queue: GlobalValueQueue,
     pending: VecDeque<u64>,
     delay: usize,
+    /// Reusable window scratch: lanes outside the availability mask are
+    /// unspecified by contract, so the buffer never needs re-zeroing —
+    /// avoiding a fresh `[0u64; MAX_ORDER]` (and its memset) per update.
+    window: [u64; MAX_ORDER],
 }
 
 impl GDiffPredictor {
@@ -77,6 +81,7 @@ impl GDiffPredictor {
             queue: GlobalValueQueue::new(order),
             pending: VecDeque::with_capacity(delay + 1),
             delay,
+            window: [0; MAX_ORDER],
         }
     }
 
@@ -116,9 +121,11 @@ impl ValuePredictor for GDiffPredictor {
     fn update(&mut self, pc: u64, actual: u64) {
         // Train against the *delayed* queue view: this is the state the
         // matching prediction would have read, so learned distances stay
-        // meaningful.
-        let queue = &self.queue;
-        self.core.update_with(pc, actual, |k| queue.back(k));
+        // meaningful. The queue is read once as a batched window — the
+        // per-completion hot path.
+        let avail = self.queue.window(&mut self.window);
+        self.core
+            .update_from_window(pc, actual, &self.window, avail);
         self.pending.push_back(actual);
         while self.pending.len() > self.delay {
             let v = self.pending.pop_front().expect("len checked");

@@ -1,5 +1,7 @@
 //! The global value queue (GVQ).
 
+use crate::MAX_ORDER;
+
 /// Identifies one slot of a [`GlobalValueQueue`] for later patching.
 ///
 /// Slot ids are monotonically increasing sequence numbers, so they stay
@@ -52,6 +54,17 @@ pub struct GlobalValueQueue {
     values: Vec<u64>,
     valid: Vec<bool>,
     head: u64,
+    /// `head % values.len()`, cached so the per-value push never divides.
+    head_idx: usize,
+    /// Validity of the 64 most recent slots, *distance*-indexed: bit
+    /// `k - 1` is set when the slot `k` values behind the head holds a
+    /// resolved value. Shifted left on every push and patched alongside
+    /// `valid`, it hands [`window`](Self::window) its whole availability
+    /// mask in one AND — no per-lane `valid` loads — and is exact for any
+    /// head-distance ≤ 64 ([`MAX_ORDER`], the widest any consumer reads).
+    /// `valid` remains the source of truth for the wider distances only an
+    /// over-`MAX_ORDER` queue can reach.
+    valid_bits: u64,
 }
 
 impl GlobalValueQueue {
@@ -69,6 +82,8 @@ impl GlobalValueQueue {
             values: vec![0; order],
             valid: vec![false; order],
             head: 0,
+            head_idx: 0,
+            valid_bits: 0,
         }
     }
 
@@ -83,6 +98,7 @@ impl GlobalValueQueue {
     }
 
     /// Appends a definitive value, returning its slot.
+    #[inline]
     pub fn push(&mut self, value: u64) -> SlotId {
         self.push_slot(Some(value))
     }
@@ -99,8 +115,9 @@ impl GlobalValueQueue {
         self.push_slot(None)
     }
 
+    #[inline]
     fn push_slot(&mut self, value: Option<u64>) -> SlotId {
-        let idx = (self.head % self.values.len() as u64) as usize;
+        let idx = self.head_idx;
         match value {
             Some(v) => {
                 self.values[idx] = v;
@@ -108,8 +125,13 @@ impl GlobalValueQueue {
             }
             None => self.valid[idx] = false,
         }
+        self.valid_bits = (self.valid_bits << 1) | u64::from(value.is_some());
         let id = SlotId(self.head);
         self.head += 1;
+        self.head_idx += 1;
+        if self.head_idx == self.values.len() {
+            self.head_idx = 0;
+        }
         id
     }
 
@@ -121,9 +143,15 @@ impl GlobalValueQueue {
         if !self.contains(slot) {
             return false;
         }
-        let idx = (slot.0 % self.values.len() as u64) as usize;
+        let dist = (self.head - slot.0) as usize;
+        let idx = self
+            .index_back(dist)
+            .expect("contains() bounds the distance");
         self.values[idx] = value;
         self.valid[idx] = true;
+        if dist <= 64 {
+            self.valid_bits |= 1 << (dist - 1);
+        }
         true
     }
 
@@ -136,8 +164,25 @@ impl GlobalValueQueue {
     ///
     /// Returns `None` if `k` is zero, exceeds the order, reaches before the
     /// first push, or lands on an unpatched empty slot.
+    #[inline]
     pub fn back(&self, k: usize) -> Option<u64> {
-        self.value_at_seq(self.head.checked_sub(k as u64)?, k)
+        // One folded reach test (order and values-pushed-so-far at once)
+        // keeps the per-distance closure paths lean.
+        let reach = (self.values.len() as u64).min(self.head);
+        if k == 0 || k as u64 > reach {
+            return None;
+        }
+        let idx = if self.head_idx >= k {
+            self.head_idx - k
+        } else {
+            self.head_idx + self.values.len() - k
+        };
+        let live = if k <= 64 {
+            (self.valid_bits >> (k - 1)) & 1 != 0
+        } else {
+            self.valid[idx]
+        };
+        live.then(|| self.values[idx])
     }
 
     /// The value `k` slots before `slot` (not counting `slot` itself).
@@ -150,12 +195,130 @@ impl GlobalValueQueue {
         self.value_at_seq(seq, (self.head - seq) as usize)
     }
 
-    fn value_at_seq(&self, seq: u64, dist_from_head: usize) -> Option<u64> {
-        if dist_from_head == 0 || dist_from_head > self.values.len() {
+    fn value_at_seq(&self, _seq: u64, dist_from_head: usize) -> Option<u64> {
+        let idx = self.index_back(dist_from_head)?;
+        let live = if dist_from_head <= 64 {
+            (self.valid_bits >> (dist_from_head - 1)) & 1 != 0
+        } else {
+            self.valid[idx]
+        };
+        live.then(|| self.values[idx])
+    }
+
+    /// Ring index of the slot `dist` values behind the head, derived from
+    /// the cached `head_idx` — a compare and subtract, never a division
+    /// (the `seq % len` form costs an integer divide per queue read, which
+    /// dominates the closure-based update path).
+    #[inline]
+    fn index_back(&self, dist: usize) -> Option<usize> {
+        if dist == 0 || dist > self.values.len() {
             return None;
         }
-        let idx = (seq % self.values.len() as u64) as usize;
-        self.valid[idx].then(|| self.values[idx])
+        Some(if self.head_idx >= dist {
+            self.head_idx - dist
+        } else {
+            self.head_idx + self.values.len() - dist
+        })
+    }
+
+    /// Reads the whole head-anchored window in one pass over the ring:
+    /// `out[k - 1]` receives the value [`back`](Self::back)`(k)` would
+    /// return and bit `k - 1` of the returned mask is set when that slot is
+    /// resolved.
+    ///
+    /// This is the batched form of `back` the per-completion hot path uses:
+    /// one index computation and a sequential backwards walk replace one
+    /// ring-index division per distance.
+    ///
+    /// # `MAX_ORDER` alignment
+    ///
+    /// The window is clamped to [`MAX_ORDER`] distances (the widest any
+    /// [`GDiffCore`](crate::GDiffCore) can consume, matching the `u64`
+    /// availability mask): a queue of a larger order exposes only its
+    /// `MAX_ORDER` most recent values through this API. Lanes whose mask
+    /// bit is clear are left untouched and carry unspecified values —
+    /// consumers must gate every lane on the mask, exactly as
+    /// [`GDiffCore::update_from_window`](crate::GDiffCore::update_from_window)
+    /// does.
+    #[inline]
+    pub fn window(&self, out: &mut [u64; MAX_ORDER]) -> u64 {
+        let len = self.values.len();
+        let n = len
+            .min(MAX_ORDER)
+            .min(self.head.min(MAX_ORDER as u64) as usize);
+        if n == 0 {
+            return 0;
+        }
+        // Index of the newest value (distance 1), then walk backwards.
+        let idx1 = if self.head_idx == 0 {
+            len - 1
+        } else {
+            self.head_idx - 1
+        };
+        self.fill_window(idx1, 0, n, out)
+    }
+
+    /// Copies `n` lanes into `out`, walking the ring backwards from index
+    /// `idx1` (the distance-1 slot, at head-distance `shift + 1`), wrapping
+    /// branchlessly. A fixed-shape walk beats splitting into contiguous
+    /// segment copies here: the split point moves every push, so segmented
+    /// loops pay a mispredicted trip-count change per call on exactly the
+    /// hot, small-order queues.
+    ///
+    /// Availability comes from `valid_bits` in one shift-and-mask whenever
+    /// the bitmap covers every referenced head-distance (always, except an
+    /// over-64-order queue read from a stale anchor).
+    #[inline]
+    fn fill_window(&self, idx1: usize, shift: usize, n: usize, out: &mut [u64; MAX_ORDER]) -> u64 {
+        let len = self.values.len();
+        let mut idx = idx1;
+        if shift + n <= 64 {
+            for lane in out.iter_mut().take(n) {
+                *lane = self.values[idx];
+                idx = if idx == 0 { len - 1 } else { idx - 1 };
+            }
+            let mask = if n == 64 { u64::MAX } else { (1 << n) - 1 };
+            (self.valid_bits >> shift) & mask
+        } else {
+            let mut avail = 0u64;
+            for (k, lane) in out.iter_mut().enumerate().take(n) {
+                *lane = self.values[idx];
+                avail |= u64::from(self.valid[idx]) << k;
+                idx = if idx == 0 { len - 1 } else { idx - 1 };
+            }
+            avail
+        }
+    }
+
+    /// Reads the window anchored at `slot` in one pass: `out[k - 1]`
+    /// receives the value [`back_from`](Self::back_from)`(slot, k)` would
+    /// return, with the same availability-mask contract (and the same
+    /// [`MAX_ORDER`] clamp) as [`window`](Self::window).
+    ///
+    /// Distances reaching before the first push, or whose referenced slot
+    /// has already left the queue window *now*, read as unavailable — the
+    /// HGVQ write-back semantics.
+    #[inline]
+    pub fn window_from(&self, slot: SlotId, out: &mut [u64; MAX_ORDER]) -> u64 {
+        let len = self.values.len();
+        let Some(gap) = self.head.checked_sub(slot.0) else {
+            return 0;
+        };
+        // Distance k from `slot` sits at head-distance gap + k: usable
+        // while gap + k <= len (still in the window) and k <= slot.0
+        // (after the first push).
+        let n = (len as u64)
+            .saturating_sub(gap)
+            .min(slot.0)
+            .min(MAX_ORDER as u64) as usize;
+        if n == 0 {
+            return 0;
+        }
+        // Distance 1 from the anchor is gap + 1 values behind the head.
+        let idx1 = self
+            .index_back(gap as usize + 1)
+            .expect("n >= 1 bounds the anchor distance");
+        self.fill_window(idx1, gap as usize, n, out)
     }
 
     /// Iterates over the resident values, most recent first (`None` for
@@ -281,5 +444,66 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_order_rejected() {
         let _ = GlobalValueQueue::new(0);
+    }
+
+    #[test]
+    fn window_matches_back() {
+        let mut q = GlobalValueQueue::new(4);
+        q.push(10);
+        q.push_empty();
+        q.push(30);
+        q.push(40);
+        q.push(50); // wraps: 10 evicted
+        let mut w = [0u64; MAX_ORDER];
+        let avail = q.window(&mut w);
+        for k in 1..=4usize {
+            let got = (avail >> (k - 1)) & 1 != 0;
+            assert_eq!(q.back(k).is_some(), got, "k={k}");
+            if let Some(v) = q.back(k) {
+                assert_eq!(w[k - 1], v, "k={k}");
+            }
+        }
+        assert_eq!(avail & !0b1111, 0, "no bits beyond the order");
+    }
+
+    #[test]
+    fn window_on_empty_queue_is_empty() {
+        let q = GlobalValueQueue::new(8);
+        let mut w = [0u64; MAX_ORDER];
+        assert_eq!(q.window(&mut w), 0);
+    }
+
+    #[test]
+    fn window_from_matches_back_from() {
+        let mut q = GlobalValueQueue::new(4);
+        q.push(10);
+        q.push(20);
+        let s = q.push(30);
+        q.push(40);
+        q.push(50); // 10 leaves the window
+        let mut w = [0u64; MAX_ORDER];
+        let avail = q.window_from(s, &mut w);
+        for k in 1..=4usize {
+            let expect = q.back_from(s, k);
+            let got = (avail >> (k - 1)) & 1 != 0;
+            assert_eq!(expect.is_some(), got, "k={k}");
+            if let Some(v) = expect {
+                assert_eq!(w[k - 1], v, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_clamps_to_max_order() {
+        let mut q = GlobalValueQueue::new(MAX_ORDER + 8);
+        for i in 0..(MAX_ORDER as u64 + 8) {
+            q.push(i);
+        }
+        let mut w = [0u64; MAX_ORDER];
+        let avail = q.window(&mut w);
+        assert_eq!(avail, u64::MAX, "all MAX_ORDER lanes resolved");
+        for k in 1..=MAX_ORDER {
+            assert_eq!(Some(w[k - 1]), q.back(k), "k={k}");
+        }
     }
 }

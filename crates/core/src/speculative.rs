@@ -2,7 +2,7 @@
 
 use predictors::{Capacity, ConfidenceTable, GatedPrediction};
 
-use crate::{GDiffCore, GlobalValueQueue};
+use crate::{GDiffCore, GlobalValueQueue, MAX_ORDER};
 
 /// Dispatch-time state for one in-flight instruction under
 /// [`SgvqPredictor`].
@@ -63,6 +63,9 @@ pub struct SgvqPredictor {
     core: GDiffCore,
     queue: GlobalValueQueue,
     confidence: ConfidenceTable,
+    /// Reusable window scratch (unmasked lanes are unspecified by
+    /// contract, so no per-completion re-zeroing).
+    window: [u64; MAX_ORDER],
 }
 
 impl SgvqPredictor {
@@ -75,6 +78,7 @@ impl SgvqPredictor {
             core: GDiffCore::new(table, order),
             queue: GlobalValueQueue::new(order),
             confidence: ConfidenceTable::with_defaults(confidence),
+            window: [0; MAX_ORDER],
         }
     }
 
@@ -103,8 +107,9 @@ impl SgvqPredictor {
     /// stands *now* (completion order), pushes the result, and trains
     /// confidence.
     pub fn complete(&mut self, pc: u64, token: &SgvqToken, actual: u64) {
-        let queue = &self.queue;
-        self.core.update_with(pc, actual, |k| queue.back(k));
+        let avail = self.queue.window(&mut self.window);
+        self.core
+            .update_from_window(pc, actual, &self.window, avail);
         self.queue.push(actual);
         if let Some(p) = token.prediction {
             self.confidence.train(pc, p.value == actual);

@@ -1,6 +1,21 @@
 //! The gDiff prediction table and difference-matching logic.
+//!
+//! The per-completion update is the simulator's hot path. It is tiered:
+//! the *selected* distance is re-checked first (one subtract and compare),
+//! and while it keeps matching — the steady state the paper's hysteresis
+//! exists to exploit — the update reduces to a straight-line
+//! subtract-and-store sweep over the lanes, a shape the autovectorizer
+//! lowers to SSE2/NEON on stable Rust (no `std::simd`, no intrinsics).
+//! Only when the selection breaks does the **lane-parallel kernel** run:
+//! differences are computed, compared against the stored vector, and
+//! stored back in fixed-width chunks of [`LANES`] `i64` lanes with
+//! branchless select-stores and compare-masks packed into the `u64`
+//! availability bitmask; smallest-match selection is then one
+//! `trailing_zeros`. The semantics are bit-exact with the paper's scalar
+//! `1..=order` scan, kept in [`crate::reference::ReferenceCore`] as the
+//! equivalence-test oracle.
 
-use predictors::{Capacity, PcTable};
+use predictors::{Capacity, PcTable, TableGeometry};
 
 /// The largest queue order any [`GDiffCore`] supports.
 ///
@@ -10,6 +25,128 @@ use predictors::{Capacity, PcTable};
 /// paper's configurations (order 8 profile, order 32 pipelined, order 64
 /// in the queue-order ablation) all fit.
 pub const MAX_ORDER: usize = 64;
+
+/// Lane width of the chunked diff-match kernel: 8 `i64` lanes per
+/// iteration, a multiple of every SIMD width from SSE2 (2 lanes) to
+/// AVX-512 (8 lanes), so the fixed-bound inner loops vectorize cleanly.
+const LANES: usize = 8;
+
+/// Bitmask selecting the low `order` lanes of an availability/match mask.
+#[inline]
+fn lane_mask(order: usize) -> u64 {
+    if order >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << order) - 1
+    }
+}
+
+/// The fused per-completion kernel: computes `actual − values[i]` for every
+/// lane, packs `calc == stored` compare bits into a match mask, and
+/// select-stores the fresh differences where `avail` allows — in
+/// [`LANES`]-wide chunks plus a scalar remainder.
+///
+/// Per-lane order (compare the *old* stored difference, then overwrite) is
+/// what makes this bit-exact with the scalar two-pass formulation; lanes
+/// whose `avail` bit is clear may hold garbage in `values`, but their
+/// compare bit is masked off and their store is suppressed.
+#[inline]
+fn match_and_store(
+    diffs: &mut [i64; MAX_ORDER],
+    values: &[u64; MAX_ORDER],
+    actual: u64,
+    avail: u64,
+    order: usize,
+) -> u64 {
+    let mut mask = 0u64;
+    let chunks = diffs[..order]
+        .chunks_exact_mut(LANES)
+        .zip(values[..order].chunks_exact(LANES));
+    let mut base = 0;
+    for (dc, vc) in chunks {
+        let mut m = 0u64;
+        for (j, (d_slot, &v)) in dc.iter_mut().zip(vc).enumerate() {
+            let d = actual.wrapping_sub(v) as i64;
+            m |= u64::from(d == *d_slot) << j;
+            let take = (avail >> (base + j)) & 1 != 0;
+            *d_slot = if take { d } else { *d_slot };
+        }
+        mask |= m << base;
+        base += LANES;
+    }
+    let tail = diffs[base..order].iter_mut().zip(&values[base..order]);
+    for (i, (d_slot, &v)) in tail.enumerate().map(|(j, p)| (base + j, p)) {
+        let d = actual.wrapping_sub(v) as i64;
+        mask |= u64::from(d == *d_slot) << i;
+        let take = (avail >> i) & 1 != 0;
+        *d_slot = if take { d } else { *d_slot };
+    }
+    mask & avail
+}
+
+/// The per-entry update policy (§3), shared by the closure wrapper and the
+/// batched window entry point.
+///
+/// Hysteresis runs first: while the selected distance keeps matching, no
+/// other lane's match can change the selection, so the whole compare-mask
+/// is dead — one subtract-and-compare decides, and the update collapses to
+/// the plain [`store_diffs`] sweep. Only a broken (or absent) selection
+/// pays for the full matching kernel plus smallest-match selection; when
+/// nothing matches there either, the selection is left unchanged, per the
+/// paper.
+#[inline]
+fn update_entry(
+    e: &mut GDiffEntry,
+    order: usize,
+    actual: u64,
+    values: &[u64; MAX_ORDER],
+    avail: u64,
+) {
+    let avail = avail & lane_mask(order);
+    let keep = match e.distance {
+        Some(k) if e.seen => {
+            let i = usize::from(k) - 1;
+            (avail >> i) & 1 != 0 && actual.wrapping_sub(values[i]) as i64 == e.diffs[i]
+        }
+        _ => false,
+    };
+    if keep || !e.seen {
+        store_diffs(&mut e.diffs, values, actual, avail, order);
+    } else {
+        let mask = match_and_store(&mut e.diffs, values, actual, avail, order);
+        if mask != 0 {
+            e.distance = Some(mask.trailing_zeros() as u16 + 1);
+        }
+    }
+    e.order = order as u16;
+    e.seen = true;
+}
+
+/// The steady-state store sweep: writes the fresh differences without
+/// computing any match mask. The all-lanes-available case is a bare
+/// subtract-and-store loop (the autovectorizer's favourite shape); partial
+/// availability falls back to per-lane select-stores.
+#[inline]
+fn store_diffs(
+    diffs: &mut [i64; MAX_ORDER],
+    values: &[u64; MAX_ORDER],
+    actual: u64,
+    avail: u64,
+    order: usize,
+) {
+    let lanes = diffs[..order].iter_mut().zip(&values[..order]);
+    if avail == lane_mask(order) {
+        for (d, &v) in lanes {
+            *d = actual.wrapping_sub(v) as i64;
+        }
+    } else {
+        for (i, (d, &v)) in lanes.enumerate() {
+            let fresh = actual.wrapping_sub(v) as i64;
+            let take = (avail >> i) & 1 != 0;
+            *d = if take { fresh } else { *d };
+        }
+    }
+}
 
 /// One prediction-table entry (Figure 5): the `n` differences between the
 /// instruction's last result and the `n` values that finished immediately
@@ -82,6 +219,12 @@ impl GDiffEntry {
 pub struct GDiffCore {
     table: PcTable<GDiffEntry>,
     order: usize,
+    /// Reusable window scratch for the closure-based
+    /// [`update_with`](Self::update_with) wrapper: lanes outside the
+    /// availability mask are unspecified by the window contract, so the
+    /// buffer is zeroed once here and never again (a fresh
+    /// `[0u64; MAX_ORDER]` per update would memset 512 bytes per call).
+    scratch: [u64; MAX_ORDER],
 }
 
 impl GDiffCore {
@@ -99,6 +242,7 @@ impl GDiffCore {
         GDiffCore {
             table: PcTable::new(capacity),
             order,
+            scratch: [0; MAX_ORDER],
         }
     }
 
@@ -139,46 +283,115 @@ impl GDiffCore {
         (value, Some((k, diff)))
     }
 
+    /// [`Self::predict_with`] over a pre-read queue window (the batched
+    /// form): `values[k - 1]` / `avail` follow the
+    /// [`GlobalValueQueue::window`](crate::GlobalValueQueue::window)
+    /// contract.
+    ///
+    /// Note the closure-based [`predict_with`](Self::predict_with) reads at
+    /// most **one** queue slot (the selected distance), so it is the
+    /// cheaper call when no window is already at hand; use this form when
+    /// the caller has batched a window for the matching update anyway.
+    pub fn predict_from_window(
+        &mut self,
+        pc: u64,
+        values: &[u64; MAX_ORDER],
+        avail: u64,
+    ) -> Option<u64> {
+        self.predict_from_window_tap(pc, values, avail).0
+    }
+
+    /// [`Self::predict_from_window`] plus the attempt's provenance, with
+    /// the same tap contract as [`predict_with_tap`](Self::predict_with_tap).
+    #[inline]
+    pub fn predict_from_window_tap(
+        &mut self,
+        pc: u64,
+        values: &[u64; MAX_ORDER],
+        avail: u64,
+    ) -> (Option<u64>, Option<(u16, i64)>) {
+        let e = self.table.entry_shared(pc);
+        let Some(k) = e.distance else {
+            return (None, None);
+        };
+        let i = usize::from(k) - 1;
+        let Some(&diff) = e.diffs.get(i) else {
+            return (None, None);
+        };
+        let value = ((avail >> i) & 1 != 0).then(|| values[i].wrapping_add(diff as u64));
+        (value, Some((k, diff)))
+    }
+
     /// Trains the table with `pc`'s actual result, reading the queue
     /// through `value_at` anchored the same way predictions for this
     /// instruction are anchored.
     ///
-    /// This is the per-completion hot path: the candidate differences live
-    /// in a stack scratch array, so no heap allocation ever happens here.
+    /// Thin compatibility wrapper: it materializes the closure reads into a
+    /// stack window and delegates to the batched
+    /// [`update_from_window`](Self::update_from_window). Callers that
+    /// already hold a [`GlobalValueQueue`](crate::GlobalValueQueue) should
+    /// read it once via
+    /// [`window`](crate::GlobalValueQueue::window)/
+    /// [`window_from`](crate::GlobalValueQueue::window_from) and call the
+    /// batched entry point directly.
     pub fn update_with(&mut self, pc: u64, actual: u64, value_at: impl Fn(usize) -> Option<u64>) {
         let order = self.order;
-        // Scratch lives on the stack; availability is a bitmask (MAX_ORDER
-        // ≤ 64) so the only per-call memory traffic is the diff array.
-        let mut calc = [0i64; MAX_ORDER];
-        let mut avail: u64 = 0;
-        for k in 1..=order {
-            if let Some(v) = value_at(k) {
-                calc[k - 1] = actual.wrapping_sub(v) as i64;
-                avail |= 1 << (k - 1);
-            }
-        }
         let e = self.table.entry_shared(pc);
-        if e.seen {
-            let matches =
-                |k: usize| -> bool { avail & (1 << (k - 1)) != 0 && calc[k - 1] == e.diffs[k - 1] };
-            let chosen = match e.distance {
-                Some(k) if matches(usize::from(k)) => Some(usize::from(k)),
-                _ => (1..=order).find(|&k| matches(k)),
-            };
-            if let Some(k) = chosen {
-                e.distance = Some(k as u16);
+        // Same tiered policy as [`update_entry`], with the closure read
+        // fused into each tier so the fast path makes a single pass: the
+        // hysteresis re-check reads one distance, and while it holds (or
+        // the entry is fresh) each lane is read and stored directly —
+        // never materialized into a window first.
+        let keep = match e.distance {
+            Some(k) if e.seen => value_at(usize::from(k))
+                .is_some_and(|v| actual.wrapping_sub(v) as i64 == e.diffs[usize::from(k) - 1]),
+            _ => false,
+        };
+        if keep || !e.seen {
+            for (i, d) in e.diffs[..order].iter_mut().enumerate() {
+                if let Some(v) = value_at(i + 1) {
+                    *d = actual.wrapping_sub(v) as i64;
+                }
             }
-        }
-        // Store the calculated differences (unavailable slots keep their
-        // previous difference so a transiently empty HGVQ slot does not
-        // erase learned state).
-        for (i, &d) in calc.iter().enumerate().take(order) {
-            if avail & (1 << i) != 0 {
-                e.diffs[i] = d;
+        } else {
+            // Broken selection: materialize the window and run the full
+            // matching kernel, as the batched entry point would.
+            let mut avail: u64 = 0;
+            for (i, lane) in self.scratch[..order].iter_mut().enumerate() {
+                if let Some(v) = value_at(i + 1) {
+                    *lane = v;
+                    avail |= 1 << i;
+                }
+            }
+            let mask = match_and_store(&mut e.diffs, &self.scratch, actual, avail, order);
+            if mask != 0 {
+                e.distance = Some(mask.trailing_zeros() as u16 + 1);
             }
         }
         e.order = order as u16;
         e.seen = true;
+    }
+
+    /// The batched per-completion hot path: trains the table from a queue
+    /// window read in one pass (`values[k - 1]` = value at distance `k`,
+    /// `avail` bit `k - 1` = that lane is resolved).
+    ///
+    /// Lanes without their `avail` bit may carry any value — they are
+    /// masked out of both the match and the store (an unavailable slot
+    /// keeps its previous difference, so a transiently empty HGVQ slot does
+    /// not erase learned state). Availability bits at or beyond the core's
+    /// order are ignored, which is what lets a wider queue share one
+    /// `MAX_ORDER` window buffer. No heap allocation ever happens here.
+    #[inline]
+    pub fn update_from_window(
+        &mut self,
+        pc: u64,
+        actual: u64,
+        values: &[u64; MAX_ORDER],
+        avail: u64,
+    ) {
+        let e = self.table.entry_shared(pc);
+        update_entry(e, self.order, actual, values, avail);
     }
 
     /// The table entry for `pc`, if one exists (read-only; for tests,
@@ -196,6 +409,12 @@ impl GDiffCore {
     /// Total accesses to the prediction table.
     pub fn table_accesses(&self) -> u64 {
         self.table.accesses()
+    }
+
+    /// Memory-layout facts of the prediction table (probe-array length,
+    /// occupancy, resident bytes) for the table-geometry gauges.
+    pub fn geometry(&self) -> TableGeometry {
+        self.table.geometry()
     }
 }
 
@@ -323,5 +542,86 @@ mod tests {
         c.update_with(0, 200, q(&vals.iter().map(|v| v + 100).collect::<Vec<_>>()));
         // Every distance repeats; smallest wins.
         assert_eq!(c.entry(0).unwrap().distance(), Some(1));
+    }
+
+    /// Packs a slice of per-distance options into the window form.
+    fn win(values: &[Option<u64>]) -> ([u64; MAX_ORDER], u64) {
+        let mut w = [0u64; MAX_ORDER];
+        let mut avail = 0u64;
+        for (i, v) in values.iter().enumerate() {
+            if let Some(v) = v {
+                w[i] = *v;
+                avail |= 1 << i;
+            }
+        }
+        (w, avail)
+    }
+
+    #[test]
+    fn window_and_closure_updates_are_identical() {
+        let mut a = GDiffCore::new(Capacity::Unbounded, 4);
+        let mut b = GDiffCore::new(Capacity::Unbounded, 4);
+        let steps: &[(u64, [Option<u64>; 4])] = &[
+            (5, [Some(9), None, Some(7), Some(2)]),
+            (12, [Some(3), Some(8), None, Some(1)]),
+            (12, [None, Some(8), Some(4), Some(1)]),
+            (30, [Some(1), Some(26), Some(4), None]),
+        ];
+        for &(actual, vals) in steps {
+            a.update_with(0, actual, |k| vals[k - 1]);
+            let (w, avail) = win(&vals);
+            b.update_from_window(0, actual, &w, avail);
+            let (ea, eb) = (a.entry(0).unwrap(), b.entry(0).unwrap());
+            assert_eq!(ea.distance(), eb.distance());
+            for k in 1..=4 {
+                assert_eq!(ea.diff(k), eb.diff(k), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn window_predict_matches_closure_predict() {
+        let mut c = GDiffCore::new(Capacity::Unbounded, 4);
+        c.update_with(0, 5, q(&[9, 1, 7]));
+        c.update_with(0, 12, q(&[3, 8, 2]));
+        let vals = [Some(6), Some(3), Some(1), None];
+        let (w, avail) = win(&vals);
+        assert_eq!(c.predict_from_window(0, &w, avail), Some(7));
+        assert_eq!(
+            c.predict_from_window_tap(0, &w, avail),
+            c.predict_with_tap(0, |k| vals[k - 1])
+        );
+        // Selected distance unavailable: no value, provenance still taps.
+        let (value, tap) = c.predict_from_window_tap(0, &w, avail & !0b10);
+        assert_eq!(value, None);
+        assert_eq!(tap, Some((2, 4)));
+    }
+
+    #[test]
+    fn avail_bits_beyond_order_are_ignored() {
+        let mut c = GDiffCore::new(Capacity::Unbounded, 2);
+        let mut w = [0u64; MAX_ORDER];
+        (w[0], w[1], w[2]) = (4, 6, 99);
+        c.update_from_window(0, 10, &w, u64::MAX); // bits ≥ 2 must not count
+        let e = c.entry(0).unwrap();
+        assert_eq!(e.diff(1), Some(6));
+        assert_eq!(e.diff(2), Some(4));
+        assert_eq!(e.diff(3), None, "beyond the core's order");
+    }
+
+    #[test]
+    fn garbage_in_masked_lanes_is_harmless() {
+        let mut c = GDiffCore::new(Capacity::Unbounded, 4);
+        c.update_with(0, 10, q(&[4, 6, 2, 9]));
+        // Lane 0 (distance 1) is unavailable but carries a value that
+        // *would* match its stored diff of 6; only lanes 1 and 3 are live.
+        let mut w = [0u64; MAX_ORDER];
+        (w[0], w[1], w[2], w[3]) = (10, 12, 8, 98);
+        c.update_from_window(0, 16, &w, 0b1010);
+        let e = c.entry(0).unwrap();
+        assert_eq!(e.distance(), Some(2), "only available lanes may match");
+        assert_eq!(e.diff(1), Some(6), "masked store keeps the old diff");
+        assert_eq!(e.diff(2), Some(4));
+        assert_eq!(e.diff(4), Some(-82), "wrapping diff stored on live lane");
     }
 }

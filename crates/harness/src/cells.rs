@@ -94,9 +94,19 @@ pub fn plan_for<'a>(
         "fig8" => per_bench(exp, source, profile, crate::fig8_bench, |r| {
             render::render_fig8(r)
         }),
-        "fig9" => per_bench(exp, source, profile, crate::fig9_bench, |r| {
-            render::render_fig9(r)
-        }),
+        "fig9" => {
+            // fig9 cells publish gdiff.table.* gauges, so they take the
+            // cell registry instead of going through per_bench.
+            let cells = Benchmark::ALL
+                .into_iter()
+                .map(|bench| {
+                    Cell::new(format!("{exp}/{bench}"), move |reg: &mut Registry| {
+                        crate::fig9_bench_obs(source, bench, profile, reg)
+                    })
+                })
+                .collect();
+            ExperimentPlan::new(exp, cells, |outs| render::render_fig9(&collect(outs)))
+        }
         "fig10" => per_bench(exp, source, profile, crate::fig10_bench, |r| {
             render::render_fig10(r)
         }),

@@ -1,0 +1,161 @@
+//! In-binary hot-path microbenchmark (`--hotpath-bench`).
+//!
+//! The criterion-style benches under `crates/bench` print `ns/iter` to a
+//! terminal; this module re-measures the same update hot path from inside
+//! the harness so the numbers land in the `--json` report, where CI can
+//! assert on them. The measured legs mirror the bench suite:
+//!
+//! * **closure** — [`GDiffCore::update_with`], one `back(k)` read per
+//!   distance (the pre-vectorization formulation, kept as a wrapper);
+//! * **batched** — [`GlobalValueQueue::window`] +
+//!   [`GDiffCore::update_from_window`], one queue pass feeding the
+//!   lane-parallel kernel.
+//!
+//! Timings go into their own `hotpath` report section, deliberately outside
+//! `experiments` so `bench-diff` (which gates on experiment metrics only)
+//! never trips on machine-speed noise.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use gdiff::{GDiffCore, GlobalValueQueue, MAX_ORDER};
+use obs::JsonValue;
+use predictors::Capacity;
+
+/// The queue orders measured, matching the bench suite's sweep.
+pub const HOTPATH_ORDERS: [usize; 4] = [4, 8, 32, 64];
+
+/// One order's measurement: mean update cost per leg.
+#[derive(Debug, Clone, Copy)]
+pub struct HotpathPoint {
+    /// Queue order `n`.
+    pub order: usize,
+    /// ns per update through the per-distance closure wrapper.
+    pub closure_ns: f64,
+    /// ns per update through the batched window path.
+    pub batched_ns: f64,
+}
+
+/// Times `iters` runs of `body` and returns ns per iteration.
+fn time_ns(iters: u64, mut body: impl FnMut(u64)) -> f64 {
+    let start = Instant::now();
+    for i in 0..iters {
+        body(i);
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Best-of-`trials` timing after one discarded warm-up run.
+fn best_of(trials: u32, iters: u64, mut body: impl FnMut(u64)) -> f64 {
+    time_ns(iters, &mut body); // warm-up: faults pages, trains the branch maps
+    (0..trials)
+        .map(|_| time_ns(iters, &mut body))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measures the update hot path for every order in [`HOTPATH_ORDERS`].
+///
+/// The workload replicates the bench suite's `gdiff_update` legs exactly —
+/// an 8K-entry table (the paper configuration), one hot PC, stride-7
+/// values — so the reported numbers are comparable with
+/// `gdiff_update/order/N` and `gdiff_update_batched/order/N`. A strided
+/// stream keeps the selected distance matching, which is the production
+/// steady state the tiered update optimizes for (the mismatch path is
+/// covered by the equivalence suite, not timed here).
+pub fn measure_hotpath() -> Vec<HotpathPoint> {
+    const ITERS: u64 = 400_000;
+    const TRIALS: u32 = 5;
+    HOTPATH_ORDERS
+        .iter()
+        .map(|&order| {
+            let mut core = GDiffCore::new(Capacity::Entries(8192), order);
+            let mut queue = GlobalValueQueue::new(order);
+            for i in 0..order as u64 * 2 {
+                queue.push(i * 3);
+            }
+            let closure_ns = best_of(TRIALS, ITERS, |i| {
+                let q = &queue;
+                core.update_with(black_box(0x40), black_box(i * 7), |k| q.back(k));
+                queue.push(i * 7);
+            });
+
+            let mut core = GDiffCore::new(Capacity::Entries(8192), order);
+            let mut queue = GlobalValueQueue::new(order);
+            for i in 0..order as u64 * 2 {
+                queue.push(i * 3);
+            }
+            // Reused scratch, as in the predictors: unmasked lanes are
+            // unspecified by contract, so no per-iteration re-zeroing.
+            let mut window = [0u64; MAX_ORDER];
+            let batched_ns = best_of(TRIALS, ITERS, |i| {
+                let avail = queue.window(&mut window);
+                core.update_from_window(black_box(0x40), black_box(i * 7), &window, avail);
+                queue.push(i * 7);
+            });
+
+            HotpathPoint {
+                order,
+                closure_ns,
+                batched_ns,
+            }
+        })
+        .collect()
+}
+
+/// Renders the measurements as the report's `hotpath` section.
+pub fn hotpath_json(points: &[HotpathPoint]) -> JsonValue {
+    let rows: Vec<JsonValue> = points
+        .iter()
+        .map(|p| {
+            JsonValue::object()
+                .with("order", p.order as u64)
+                .with("closure_ns", p.closure_ns)
+                .with("batched_ns", p.batched_ns)
+        })
+        .collect();
+    JsonValue::object()
+        .with("schema", "gdiff-hotpath-bench/v1")
+        .with("points", rows)
+}
+
+/// Renders the measurements as an aligned text table.
+pub fn hotpath_text(points: &[HotpathPoint]) -> String {
+    let mut s = String::from("gdiff update hot path (ns/update, best of 5)\n");
+    s.push_str("order  closure  batched  speedup\n");
+    for p in points {
+        let speedup = if p.batched_ns > 0.0 {
+            p.closure_ns / p.batched_ns
+        } else {
+            0.0
+        };
+        s.push_str(&format!(
+            "{:>5}  {:>7.1}  {:>7.1}  {:>6.2}x\n",
+            p.order, p.closure_ns, p.batched_ns, speedup
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotpath_json_has_schema_and_all_orders() {
+        let points: Vec<HotpathPoint> = HOTPATH_ORDERS
+            .iter()
+            .map(|&order| HotpathPoint {
+                order,
+                closure_ns: 30.0,
+                batched_ns: 10.0,
+            })
+            .collect();
+        let json = hotpath_json(&points).to_json();
+        assert!(json.contains("gdiff-hotpath-bench/v1"));
+        for order in HOTPATH_ORDERS {
+            assert!(json.contains(&format!("\"order\":{order}")), "{json}");
+        }
+        let text = hotpath_text(&points);
+        assert!(text.contains("3.00x"), "{text}");
+    }
+}

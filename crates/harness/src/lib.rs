@@ -33,6 +33,7 @@ pub mod addr;
 pub mod benchdiff;
 pub mod cells;
 pub mod explain;
+pub mod hotpath;
 pub mod pipe;
 pub mod profile;
 pub mod record;
@@ -44,6 +45,7 @@ pub mod serve_cli;
 pub use addr::{fig18, fig18_bench, fig18_on, Fig18Row};
 pub use benchdiff::{diff_reports, DiffReport, DiffRow, DEFAULT_THRESHOLD_PCT};
 pub use explain::{explain_cell, explain_plan, ExplainCell, EXPLAIN_EXPERIMENTS};
+pub use hotpath::{hotpath_json, hotpath_text, measure_hotpath, HotpathPoint, HOTPATH_ORDERS};
 pub use pipe::{
     ablate_confidence, ablate_confidence_on, ablate_confidence_point, ablate_confidence_thresholds,
     ablate_depth, ablate_depth_on, ablate_depth_point, ablate_depth_points, ablate_filler,
@@ -54,7 +56,8 @@ pub use pipe::{
 };
 pub use profile::{
     ablate_queue, ablate_queue_bench, ablate_queue_on, fig1, fig10, fig10_bench, fig10_on, fig1_on,
-    fig8, fig8_bench, fig8_on, fig9, fig9_bench, fig9_on, Fig10Row, Fig8Row, Fig9Row, QueueRow,
+    fig8, fig8_bench, fig8_on, fig9, fig9_bench, fig9_bench_obs, fig9_on, Fig10Row, Fig8Row,
+    Fig9Row, QueueRow,
 };
 pub use record::{open_replay, record, RecordReport, ReplayError, ReplayPlan};
 pub use sched::{default_jobs, run_plans, run_plans_live, Cell, ExperimentOutput, ExperimentPlan};

@@ -77,6 +77,8 @@ struct Options {
     live_metrics: Option<String>,
     /// `--live-interval-ms <n>`: snapshot period for `--live-metrics`.
     live_interval_ms: u64,
+    /// `--hotpath-bench`: measure the update hot path and report it.
+    hotpath_bench: bool,
     experiments: Vec<String>,
 }
 
@@ -92,6 +94,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         timeline: None,
         live_metrics: None,
         live_interval_ms: 250,
+        hotpath_bench: false,
         experiments: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -126,6 +129,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 }
                 opts.live_interval_ms = n;
             }
+            "--hotpath-bench" => opts.hotpath_bench = true,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with("--") => return Err(format!("unknown option: {other}")),
             // Attached worker count: -j4.
@@ -259,6 +263,7 @@ fn main_run(args: Vec<String>) {
         timeline: opts.timeline,
         live_metrics: opts.live_metrics,
         live_interval_ms: opts.live_interval_ms,
+        hotpath: opts.hotpath_bench,
         sections: Vec::new(),
     });
 }
@@ -283,6 +288,8 @@ struct Execution<'a> {
     live_metrics: Option<String>,
     /// Snapshot period for `--live-metrics`.
     live_interval_ms: u64,
+    /// `--hotpath-bench`: append the update-path timing section.
+    hotpath: bool,
     /// Extra report sections (e.g. replay's tracefile metrics).
     sections: Vec<(String, JsonValue)>,
 }
@@ -394,6 +401,13 @@ fn execute(x: Execution<'_>) {
             .with("cells", cells as u64),
     );
     report.add_section("metrics", master.to_json());
+    if x.hotpath {
+        // Timed in-process, outside `experiments`, so bench-diff gates
+        // never see machine-speed noise.
+        let points = harness::measure_hotpath();
+        out!("{}", harness::hotpath_text(&points));
+        report.add_section("hotpath", harness::hotpath_json(&points));
+    }
     for (name, section) in x.sections {
         report.add_section(&name, section);
     }
@@ -545,6 +559,7 @@ fn main_replay(args: Vec<String>) {
         timeline: None,
         live_metrics: None,
         live_interval_ms: 250,
+        hotpath: false,
         sections: vec![("tracefile".to_string(), registry.to_json())],
     });
 }
@@ -767,8 +782,8 @@ fn main_bench_diff(args: Vec<String>) {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--threshold" => match parse_value::<f64>(&a, it.next()) {
-                Ok(v) if v >= 0.0 => threshold = v,
-                Ok(_) => usage_error("--threshold: must be non-negative"),
+                Ok(v) if v.is_finite() && v >= 0.0 => threshold = v,
+                Ok(_) => usage_error("--threshold: must be a finite, non-negative percentage"),
                 Err(m) => usage_error(&m),
             },
             "--full" => full = true,
@@ -894,7 +909,7 @@ fn print_usage() {
         "usage: harness [--scale F] [--seed N] [--jobs N|-jN] [--json PATH|-]\n\
          \x20              [--trace-last N] [--timeline PATH]\n\
          \x20              [--live-metrics PATH|-] [--live-interval-ms N]\n\
-         \x20              <experiment>...\n\
+         \x20              [--hotpath-bench] <experiment>...\n\
          \x20      harness record --out FILE [--scale F] [--seed N] <experiment>...\n\
          \x20      harness replay FILE [--json PATH|-] [--trace-last N]\n\
          \x20      harness convert IN OUT\n\
@@ -921,6 +936,9 @@ fn print_usage() {
          --live-metrics streams periodic delta-compressed NDJSON metric\n\
          snapshots while the run is going (- for stdout; tables move to\n\
          stderr); --live-interval-ms sets the period (default 250)\n\
+         --hotpath-bench times the gdiff update hot path (closure vs\n\
+         batched window) after the experiments and adds a `hotpath`\n\
+         section to the --json report\n\
          record captures the instruction streams the named experiments\n\
          consume into a chunked, CRC-checked binary container; replay\n\
          re-runs them from the capture with identical results (always\n\

@@ -7,6 +7,7 @@
 //! accuracy over all value producers.
 
 use gdiff::GDiffPredictor;
+use obs::Registry;
 use predictors::{Capacity, DfcmPredictor, PredictorStats, StridePredictor, ValuePredictor};
 use workloads::{Benchmark, DynInst, SyntheticSource, TraceSource};
 
@@ -224,6 +225,12 @@ pub struct Fig9Row {
     pub accuracy_unlimited: f64,
     /// Accuracy with the 8K-entry table.
     pub accuracy_8k: f64,
+    /// Direct-mapped probe length of the 8K table (slot count).
+    pub table_probe_len: usize,
+    /// Occupied slots in the 8K table after the run.
+    pub table_occupancy: usize,
+    /// Byte footprint of the 8K table's storage arrays.
+    pub table_bytes: u64,
 }
 
 /// The table sizes of Figure 9 (entries; `None` = unlimited).
@@ -253,10 +260,26 @@ pub fn fig9_on(source: &dyn TraceSource, params: RunParams) -> Vec<Fig9Row> {
 }
 
 /// One benchmark's Figure 9 row — the independently schedulable cell.
+///
+/// Convenience wrapper over [`fig9_bench_obs`] that discards the gauge
+/// output.
 pub fn fig9_bench(source: &dyn TraceSource, bench: Benchmark, params: RunParams) -> Fig9Row {
+    fig9_bench_obs(source, bench, params, &mut Registry::new())
+}
+
+/// [`fig9_bench`] with observability: publishes the 8K table's shape as
+/// `gdiff.table.{probe_len,occupancy,bytes}` gauges on `reg` and records
+/// the same geometry in the returned row.
+pub fn fig9_bench_obs(
+    source: &dyn TraceSource,
+    bench: Benchmark,
+    params: RunParams,
+    reg: &mut Registry,
+) -> Fig9Row {
     let mut conflict_rates = Vec::new();
     let mut accuracy_unlimited = 0.0;
     let mut accuracy_8k = 0.0;
+    let mut geometry = None;
     for size in fig9_sizes() {
         let cap = match size {
             None => Capacity::Unbounded,
@@ -269,13 +292,24 @@ pub fn fig9_bench(source: &dyn TraceSource, bench: Benchmark, params: RunParams)
             accuracy_unlimited = stats.accuracy();
         } else if size == Some(8 * 1024) {
             accuracy_8k = stats.accuracy();
+            geometry = Some(p.core().geometry());
         }
     }
+    let geometry = geometry.expect("fig9_sizes includes the 8K point");
+    let probe_len = reg.gauge("gdiff.table.probe_len");
+    reg.set_gauge(probe_len, geometry.probe_len as f64);
+    let occupancy = reg.gauge("gdiff.table.occupancy");
+    reg.set_gauge(occupancy, geometry.occupied as f64);
+    let bytes = reg.gauge("gdiff.table.bytes");
+    reg.set_gauge(bytes, geometry.bytes as f64);
     Fig9Row {
         bench,
         conflict_rates,
         accuracy_unlimited,
         accuracy_8k,
+        table_probe_len: geometry.probe_len,
+        table_occupancy: geometry.occupied,
+        table_bytes: geometry.bytes,
     }
 }
 

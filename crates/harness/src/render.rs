@@ -137,12 +137,24 @@ pub fn render_fig9(rows: &[Fig9Row]) -> (String, JsonValue) {
         "mean accuracy loss of the 8K table vs unlimited: {} (paper: < 1%)",
         pct(degr)
     );
+    if let Some(r) = rows.first() {
+        let lo = rows.iter().map(|r| r.table_occupancy).min().unwrap_or(0);
+        let hi = rows.iter().map(|r| r.table_occupancy).max().unwrap_or(0);
+        let _ = writeln!(
+            s,
+            "8K table footprint: {} slots, {} bytes; occupancy {lo}-{hi} slots across benchmarks",
+            r.table_probe_len, r.table_bytes
+        );
+    }
     let json = rows_json(rows, |r| {
         JsonValue::object()
             .with("bench", r.bench.to_string())
             .with("conflict_rates", r.conflict_rates.clone())
             .with("accuracy_unlimited", r.accuracy_unlimited)
             .with("accuracy_8k", r.accuracy_8k)
+            .with("table_probe_len", r.table_probe_len as u64)
+            .with("table_occupancy", r.table_occupancy as u64)
+            .with("table_bytes", r.table_bytes)
     });
     (s, json)
 }

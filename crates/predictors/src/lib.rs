@@ -72,7 +72,7 @@ pub use markov::{MarkovConfig, MarkovPredictor};
 pub use pi::PiPredictor;
 pub use stats::PredictorStats;
 pub use stride::StridePredictor;
-pub use table::{Capacity, PcTable};
+pub use table::{Capacity, PcTable, TableGeometry};
 
 /// The common interface implemented by every value predictor in this
 /// workspace.

@@ -10,8 +10,20 @@
 //!
 //! [`PcTable`] implements both flavours behind one interface and keeps the
 //! conflict accounting needed to regenerate Figure 9.
+//!
+//! # Layout
+//!
+//! The bounded table is stored structure-of-arrays: slot owners (`tags`) and
+//! an occupancy bitmap (`live`) sit in their own dense arrays, separate from
+//! the entry payloads (`data`). A lookup touches one tag word and one bitmap
+//! word before it ever dereferences the (much larger) payload — eight tags
+//! share a cache line instead of one-or-two `Option<Slot<E>>` boxes — and
+//! every payload slot is default-initialized up front, so claiming a fresh
+//! slot writes a tag and a bit, never a payload. [`PcTable::geometry`]
+//! reports the resulting memory footprint.
 
 use std::collections::HashMap;
+use std::mem::size_of;
 
 /// The capacity policy of a [`PcTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,16 +48,36 @@ impl Capacity {
     }
 }
 
+/// Shape and footprint of a [`PcTable`], from [`PcTable::geometry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableGeometry {
+    /// Number of direct-mapped slots probed by the index hash (`0` for an
+    /// unbounded table, which has no fixed probe array).
+    pub probe_len: usize,
+    /// Number of occupied slots (bounded) or live entries (unbounded).
+    pub occupied: usize,
+    /// Bytes held by the table's storage arrays. Exact for bounded tables
+    /// (tags + occupancy bitmap + payloads); for unbounded tables this is
+    /// the payload-plus-key lower bound, excluding hash-map overhead.
+    pub bytes: u64,
+}
+
+/// Bounded storage, structure-of-arrays: tags and occupancy apart from
+/// payloads so the probe path stays inside one or two cache lines.
 #[derive(Debug, Clone)]
-struct Slot<E> {
-    owner: u64,
-    data: E,
+struct DirectTable<E> {
+    /// Owner PC per slot; meaningful only where the `live` bit is set.
+    tags: Vec<u64>,
+    /// Occupancy bitmap, one bit per slot (`idx >> 6` word, `idx & 63` bit).
+    live: Vec<u64>,
+    /// Slot payloads, default-initialized at construction.
+    data: Vec<E>,
 }
 
 #[derive(Debug, Clone)]
 enum Storage<E> {
     Unbounded(HashMap<u64, E>),
-    Direct(Vec<Option<Slot<E>>>),
+    Direct(DirectTable<E>),
 }
 
 /// A PC-indexed prediction table with aliasing accounting.
@@ -91,9 +123,13 @@ impl<E: Default> PcTable<E> {
                     n > 0 && n.is_power_of_two(),
                     "table entries must be a nonzero power of two"
                 );
-                let mut v = Vec::new();
-                v.resize_with(n, || None);
-                Storage::Direct(v)
+                let mut data = Vec::new();
+                data.resize_with(n, E::default);
+                Storage::Direct(DirectTable {
+                    tags: vec![0; n],
+                    live: vec![0; n.div_ceil(64)],
+                    data,
+                })
             }
         };
         PcTable {
@@ -128,26 +164,22 @@ impl<E: Default> PcTable<E> {
         self.accesses += 1;
         match &mut self.storage {
             Storage::Unbounded(map) => map.entry(pc).or_default(),
-            Storage::Direct(vec) => {
-                let idx = (pc >> 2) as usize & (vec.len() - 1);
-                let slot = &mut vec[idx];
-                match slot {
-                    Some(s) if s.owner == pc => {}
-                    Some(s) => {
-                        self.conflicts += 1;
-                        s.owner = pc;
-                        if reset_on_conflict {
-                            s.data = E::default();
-                        }
-                    }
-                    None => {
-                        *slot = Some(Slot {
-                            owner: pc,
-                            data: E::default(),
-                        });
+            Storage::Direct(t) => {
+                let idx = (pc >> 2) as usize & (t.tags.len() - 1);
+                let bit = 1u64 << (idx & 63);
+                if t.live[idx >> 6] & bit == 0 {
+                    // First claim: the payload is already default — only the
+                    // tag and occupancy bit are written.
+                    t.live[idx >> 6] |= bit;
+                    t.tags[idx] = pc;
+                } else if t.tags[idx] != pc {
+                    self.conflicts += 1;
+                    t.tags[idx] = pc;
+                    if reset_on_conflict {
+                        t.data[idx] = E::default();
                     }
                 }
-                &mut slot.as_mut().expect("slot populated above").data
+                &mut t.data[idx]
             }
         }
     }
@@ -156,9 +188,9 @@ impl<E: Default> PcTable<E> {
     pub fn peek(&self, pc: u64) -> Option<&E> {
         match &self.storage {
             Storage::Unbounded(map) => map.get(&pc),
-            Storage::Direct(vec) => {
-                let idx = (pc >> 2) as usize & (vec.len() - 1);
-                vec[idx].as_ref().map(|s| &s.data)
+            Storage::Direct(t) => {
+                let idx = (pc >> 2) as usize & (t.tags.len() - 1);
+                (t.live[idx >> 6] & (1u64 << (idx & 63)) != 0).then(|| &t.data[idx])
             }
         }
     }
@@ -190,13 +222,31 @@ impl<E: Default> PcTable<E> {
     pub fn len(&self) -> usize {
         match &self.storage {
             Storage::Unbounded(map) => map.len(),
-            Storage::Direct(vec) => vec.iter().filter(|s| s.is_some()).count(),
+            Storage::Direct(t) => t.live.iter().map(|w| w.count_ones() as usize).sum(),
         }
     }
 
     /// Whether the table holds no entries yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Shape and memory footprint of the table's storage.
+    pub fn geometry(&self) -> TableGeometry {
+        match &self.storage {
+            Storage::Unbounded(map) => TableGeometry {
+                probe_len: 0,
+                occupied: map.len(),
+                bytes: (map.len() * (size_of::<E>() + size_of::<u64>())) as u64,
+            },
+            Storage::Direct(t) => TableGeometry {
+                probe_len: t.tags.len(),
+                occupied: self.len(),
+                bytes: (t.tags.len() * size_of::<u64>()
+                    + t.live.len() * size_of::<u64>()
+                    + t.data.len() * size_of::<E>()) as u64,
+            },
+        }
     }
 }
 
@@ -264,5 +314,45 @@ mod tests {
     fn capacity_entries_accessor() {
         assert_eq!(Capacity::Unbounded.entries(), None);
         assert_eq!(Capacity::Entries(8).entries(), Some(8));
+    }
+
+    #[test]
+    fn pc_zero_claims_a_slot() {
+        // PC 0 maps to slot 0 whose tag array is zero-initialized: the
+        // occupancy bitmap, not the tag value, must decide first-claim.
+        let mut t: PcTable<u64> = PcTable::new(Capacity::Entries(4));
+        *t.entry(0x0) = 5;
+        assert_eq!(t.conflicts(), 0);
+        assert_eq!(*t.entry(0x0), 5);
+        assert_eq!(t.conflicts(), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn geometry_reports_shape_and_bytes() {
+        let mut t: PcTable<u64> = PcTable::new(Capacity::Entries(128));
+        *t.entry(0x4) = 1;
+        *t.entry(0x8) = 2;
+        let g = t.geometry();
+        assert_eq!(g.probe_len, 128);
+        assert_eq!(g.occupied, 2);
+        // 128 tags * 8 + 2 bitmap words * 8 + 128 payloads * 8
+        assert_eq!(g.bytes, 128 * 8 + 2 * 8 + 128 * 8);
+
+        let mut u: PcTable<u64> = PcTable::new(Capacity::Unbounded);
+        *u.entry(0x4) = 1;
+        let g = u.geometry();
+        assert_eq!(g.probe_len, 0);
+        assert_eq!(g.occupied, 1);
+        assert_eq!(g.bytes, 16);
+    }
+
+    #[test]
+    fn sub_word_table_has_one_bitmap_word() {
+        // Tables smaller than 64 slots still need one occupancy word.
+        let mut t: PcTable<u64> = PcTable::new(Capacity::Entries(1));
+        assert_eq!(t.geometry().bytes, 8 + 8 + 8);
+        *t.entry(0x0) = 3;
+        assert_eq!(t.len(), 1);
     }
 }

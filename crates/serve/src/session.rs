@@ -109,9 +109,14 @@ impl SessionParams {
                 }
             }
         };
+        // The core's diff entries are fixed MAX_ORDER-lane arrays; an order
+        // past that would panic in GDiffCore::new, so reject it at HELLO.
         let order = uint("order", 8)?;
-        if order == 0 || order > 4096 {
-            return Err(BadHello(format!("order {order} outside 1..=4096")));
+        if order == 0 || order > gdiff::MAX_ORDER as u64 {
+            return Err(BadHello(format!(
+                "order {order} outside 1..={}",
+                gdiff::MAX_ORDER
+            )));
         }
         let hold = match v.path("hold") {
             None => false,
@@ -324,6 +329,16 @@ mod tests {
             v.set("order", 0u64);
         }))
         .is_err());
+        // An order past the core's MAX_ORDER lane width would panic the
+        // predictor constructor; HELLO must reject it instead.
+        assert!(SessionParams::from_hello(&hello(|v| {
+            v.set("order", gdiff::MAX_ORDER as u64 + 1);
+        }))
+        .is_err());
+        assert!(SessionParams::from_hello(&hello(|v| {
+            v.set("order", gdiff::MAX_ORDER as u64);
+        }))
+        .is_ok());
         assert!(SessionParams::from_hello(&hello(|v| {
             v.set("warmup", -3.0);
         }))

@@ -127,6 +127,32 @@ fn serve_client_args_are_validated() {
 }
 
 #[test]
+fn bench_diff_args_are_validated() {
+    // The gate script feeds --threshold from CI variables; a typo must be
+    // exit 2 (usage error), never a silently-passing comparison.
+    assert_usage_error(
+        &["bench-diff", "a.json", "b.json", "--threshold", "abc"],
+        "invalid value 'abc'",
+    );
+    assert_usage_error(
+        &["bench-diff", "a.json", "b.json", "--threshold", "-3"],
+        "non-negative",
+    );
+    // f64::from_str accepts "inf" and "NaN": both thresholds would gate
+    // nothing, so they are rejected as non-finite.
+    assert_usage_error(
+        &["bench-diff", "a.json", "b.json", "--threshold", "inf"],
+        "finite",
+    );
+    assert_usage_error(
+        &["bench-diff", "a.json", "b.json", "--threshold", "NaN"],
+        "finite",
+    );
+    assert_usage_error(&["bench-diff", "only-one.json"], "bench-diff takes exactly");
+    assert_usage_error(&["bench-diff", "--bogus"], "unknown bench-diff option");
+}
+
+#[test]
 fn help_exits_zero() {
     let out = run(&["--help"]);
     assert!(out.status.success());
