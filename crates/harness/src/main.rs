@@ -23,7 +23,8 @@
 //! past a regression threshold; `serve` runs the `gdiff-serve/v1`
 //! multi-session prediction daemon (Unix socket, `--stdio`, or
 //! `--selftest`); `serve-client` streams a trace or synthesized benchmark
-//! to a running daemon and prints the returned report.
+//! to a running daemon and prints the returned report; `logs` reads and
+//! pretty-prints the structured binary journal that `--log` writes.
 
 use harness::cells::{plan_for, ALL_EXPERIMENTS};
 use harness::record::{open_replay, record};
@@ -79,6 +80,10 @@ struct Options {
     live_interval_ms: u64,
     /// `--hotpath-bench`: measure the update hot path and report it.
     hotpath_bench: bool,
+    /// `--log <path>`: structured journal destination (live-only).
+    log: Option<String>,
+    /// `--log-level <level>`: minimum journal level (default info).
+    log_level: obs::log::Level,
     experiments: Vec<String>,
 }
 
@@ -95,6 +100,8 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         live_metrics: None,
         live_interval_ms: 250,
         hotpath_bench: false,
+        log: None,
+        log_level: obs::log::Level::Info,
         experiments: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -130,6 +137,13 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 opts.live_interval_ms = n;
             }
             "--hotpath-bench" => opts.hotpath_bench = true,
+            "--log" => {
+                opts.log = Some(
+                    it.next()
+                        .ok_or_else(|| format!("{a} needs a value (a journal path)"))?,
+                )
+            }
+            "--log-level" => opts.log_level = parse_level(&a, it.next())?,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with("--") => return Err(format!("unknown option: {other}")),
             // Attached worker count: -j4.
@@ -163,6 +177,10 @@ fn parse_trace_last(flag: &str, value: Option<String>) -> Result<usize, String> 
         return Err(format!("{flag}: event count must be at least 1"));
     }
     Ok(n)
+}
+
+fn parse_level(flag: &str, value: Option<String>) -> Result<obs::log::Level, String> {
+    serve_cli::parse_level(flag, value)
 }
 
 fn main() {
@@ -199,6 +217,10 @@ fn main() {
         Some("serve-client") => {
             args.remove(0);
             main_serve_client(args)
+        }
+        Some("logs") => {
+            args.remove(0);
+            main_logs(args)
         }
         _ => main_run(args),
     }
@@ -264,6 +286,8 @@ fn main_run(args: Vec<String>) {
         live_metrics: opts.live_metrics,
         live_interval_ms: opts.live_interval_ms,
         hotpath: opts.hotpath_bench,
+        log: opts.log,
+        log_level: opts.log_level,
         sections: Vec::new(),
     });
 }
@@ -290,6 +314,12 @@ struct Execution<'a> {
     live_interval_ms: u64,
     /// `--hotpath-bench`: append the update-path timing section.
     hotpath: bool,
+    /// `--log`: structured journal destination. Live-only: the tables,
+    /// the `--json` report, and replay outputs are byte-identical with
+    /// the journal on or off.
+    log: Option<String>,
+    /// Minimum journal level for `--log`.
+    log_level: obs::log::Level,
     /// Extra report sections (e.g. replay's tracefile metrics).
     sections: Vec<(String, JsonValue)>,
 }
@@ -304,6 +334,24 @@ const TIMELINE_CAPACITY: usize = 64 * 1024;
 const LIVE_RING_CAP: usize = 1024;
 
 fn execute(x: Execution<'_>) {
+    let journal =
+        match serve_cli::enable_journal(x.log.as_deref().map(std::path::Path::new), x.log_level) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+    obs::log::info(
+        "harness.run",
+        "run started",
+        &[
+            ("experiments", obs::log::Value::from(x.selected.len())),
+            ("jobs", obs::log::Value::from(x.jobs)),
+            ("seed", obs::log::Value::from(x.seed)),
+            ("scale", obs::log::Value::from(x.scale)),
+        ],
+    );
     if let Some(n) = x.trace_last {
         tracer().enable(n.max(1));
     }
@@ -348,9 +396,46 @@ fn execute(x: Execution<'_>) {
     let cells = run_plans_live(plans, x.jobs, &mut master, live.as_ref(), |res| {
         out!("{}", res.text);
         eprintln!("[{} took {:.1}s]\n", res.name, res.busy.as_secs_f64());
+        obs::log::info(
+            "harness.run",
+            "experiment finished",
+            &[
+                ("experiment", obs::log::Value::from(res.name.as_str())),
+                ("busy_s", obs::log::Value::from(res.busy.as_secs_f64())),
+            ],
+        );
         report.add_experiment(&res.name, res.json);
     });
 
+    // Timeline teardown happens before the sampler's final snapshot so a
+    // ring overflow surfaces in the live stream (`timeline.dropped_events`)
+    // as well as the journal — not just in a stderr afterthought.
+    if let Some(dest) = &x.timeline {
+        obs::timeline::disable();
+        let dropped = obs::timeline::dropped();
+        if dropped > 0 {
+            obs::log::warn(
+                "harness.timeline",
+                "timeline ring overflowed; events dropped",
+                &[("dropped", obs::log::Value::from(dropped))],
+            );
+            if let Some(live) = &live {
+                live.with(|r| {
+                    let g = r.gauge("timeline.dropped_events");
+                    r.set_gauge(g, dropped as f64);
+                });
+            }
+        }
+        let text = obs::timeline::export().to_json();
+        if let Err(e) = std::fs::write(dest, text + "\n") {
+            eprintln!("error: cannot write {dest}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "timeline: {} events ({dropped} dropped) -> {dest}",
+            obs::timeline::recorded(),
+        );
+    }
     if let Some(sampler) = sampler {
         let log = sampler.stop();
         if !log.stream_ok {
@@ -359,19 +444,6 @@ fn execute(x: Execution<'_>) {
         eprintln!(
             "live-metrics: {} snapshots ({} beyond the ring)",
             log.taken, log.dropped
-        );
-    }
-    if let Some(dest) = &x.timeline {
-        obs::timeline::disable();
-        let text = obs::timeline::export().to_json();
-        if let Err(e) = std::fs::write(dest, text + "\n") {
-            eprintln!("error: cannot write {dest}: {e}");
-            std::process::exit(1);
-        }
-        eprintln!(
-            "timeline: {} events ({} dropped) -> {dest}",
-            obs::timeline::recorded(),
-            obs::timeline::dropped()
         );
     }
 
@@ -419,6 +491,23 @@ fn execute(x: Execution<'_>) {
         } else if let Err(e) = std::fs::write(dest, text + "\n") {
             eprintln!("error: cannot write {dest}: {e}");
             std::process::exit(1);
+        }
+    }
+
+    obs::log::info(
+        "harness.run",
+        "run finished",
+        &[("cells", obs::log::Value::from(cells as u64))],
+    );
+    if let Some(path) = journal {
+        let records = obs::log::recorded();
+        let write_errors = obs::log::disable();
+        eprintln!("journal: {records} records -> {}", path.display());
+        if write_errors > 0 {
+            eprintln!(
+                "warning: journal {}: {write_errors} write errors",
+                path.display()
+            );
         }
     }
 }
@@ -498,6 +587,8 @@ fn main_replay(args: Vec<String>) {
     let mut file: Option<String> = None;
     let mut json: Option<String> = None;
     let mut trace_last: Option<usize> = None;
+    let mut log: Option<String> = None;
+    let mut log_level = obs::log::Level::Info;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -509,6 +600,16 @@ fn main_replay(args: Vec<String>) {
             }
             "--trace-last" => match parse_trace_last(&a, it.next()) {
                 Ok(v) => trace_last = Some(v),
+                Err(m) => usage_error(&m),
+            },
+            "--log" => {
+                log = Some(match it.next() {
+                    Some(v) => v,
+                    None => usage_error("--log needs a value (a journal path)"),
+                })
+            }
+            "--log-level" => match parse_level(&a, it.next()) {
+                Ok(v) => log_level = v,
                 Err(m) => usage_error(&m),
             },
             "--help" | "-h" => {
@@ -560,6 +661,8 @@ fn main_replay(args: Vec<String>) {
         live_metrics: None,
         live_interval_ms: 250,
         hotpath: false,
+        log,
+        log_level,
         sections: vec![("tracefile".to_string(), registry.to_json())],
     });
 }
@@ -904,14 +1007,120 @@ fn main_serve_client(args: Vec<String>) {
     }
 }
 
+/// `logs FILE [--level L] [--target PREFIX] [--follow] [--json]`: read a
+/// binary journal written by `--log` and pretty-print it (or emit one
+/// JSON object per record). `--follow` keeps polling for appended
+/// records, surviving rotation.
+fn main_logs(args: Vec<String>) {
+    let mut file: Option<String> = None;
+    let mut level = obs::log::Level::Debug;
+    let mut target: Option<String> = None;
+    let mut follow = false;
+    let mut json = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--level" => match parse_level(&a, it.next()) {
+                Ok(v) => level = v,
+                Err(m) => usage_error(&m),
+            },
+            "--target" => {
+                target = Some(match it.next() {
+                    Some(v) => v,
+                    None => usage_error("--target needs a value (a target prefix)"),
+                })
+            }
+            "--follow" | "-f" => follow = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other if other.starts_with('-') => {
+                usage_error(&format!("unknown logs option: {other}"))
+            }
+            other if file.is_none() => file = Some(other.to_string()),
+            other => usage_error(&format!("unexpected argument: {other}")),
+        }
+    }
+    let Some(file) = file else {
+        usage_error("logs needs a journal file");
+    };
+    let path = std::path::Path::new(&file);
+    let keep = |r: &obs::log::OwnedRecord| {
+        r.level as u8 >= level as u8 && target.as_deref().is_none_or(|t| r.target.starts_with(t))
+    };
+    let print = |r: &obs::log::OwnedRecord| {
+        if json {
+            println!("{}", r.to_json().to_json());
+        } else {
+            println!("{r}");
+        }
+    };
+
+    if follow {
+        // The tail starts at the header, so the first poll replays the
+        // whole existing journal before settling into live updates.
+        let mut tail = match obs::log::JournalTail::open(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot open {file}: {e}");
+                std::process::exit(1);
+            }
+        };
+        loop {
+            match tail.poll() {
+                Ok((records, warning)) => {
+                    for r in &records {
+                        if keep(r) {
+                            print(r);
+                        }
+                    }
+                    if let Some(w) = warning {
+                        eprintln!("warning: {file}: {w}");
+                    }
+                }
+                // Rotation renames the file before recreating it; a poll
+                // landing in that window just waits for the new one.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    eprintln!("error: {file}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(200));
+        }
+    }
+
+    let outcome = match obs::log::read_journal(path) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut shown = 0usize;
+    for r in &outcome.records {
+        if keep(r) {
+            print(r);
+            shown += 1;
+        }
+    }
+    if let Some(w) = outcome.warning {
+        eprintln!("warning: {file}: {w}");
+    }
+    eprintln!("{file}: {shown} of {} records shown", outcome.records.len());
+}
+
 fn print_usage() {
     eprintln!(
         "usage: harness [--scale F] [--seed N] [--jobs N|-jN] [--json PATH|-]\n\
          \x20              [--trace-last N] [--timeline PATH]\n\
          \x20              [--live-metrics PATH|-] [--live-interval-ms N]\n\
-         \x20              [--hotpath-bench] <experiment>...\n\
+         \x20              [--hotpath-bench] [--log PATH] [--log-level L] <experiment>...\n\
          \x20      harness record --out FILE [--scale F] [--seed N] <experiment>...\n\
          \x20      harness replay FILE [--json PATH|-] [--trace-last N]\n\
+         \x20              [--log PATH] [--log-level L]\n\
          \x20      harness convert IN OUT\n\
          \x20      harness explain <fig13|fig16> [--scale F] [--seed N] [--jobs N|-jN]\n\
          \x20              [--json PATH|-] [--top N] [--dump-provenance]\n\
@@ -920,10 +1129,13 @@ fn print_usage() {
          \x20      harness bench-diff OLD.json NEW.json [--threshold PCT] [--full]\n\
          \x20      harness serve (--socket PATH | --stdio | --selftest)\n\
          \x20              [--max-sessions N] [--queue-depth N] [--global-queue N]\n\
-         \x20              [--scale F] [--seed N]\n\
-         \x20      harness serve-client --socket PATH [--trace FILE | --stream BENCH]\n\
+         \x20              [--scale F] [--seed N] [--log PATH] [--log-level L]\n\
+         \x20      harness serve-client --socket PATH\n\
+         \x20              [--trace FILE | --stream BENCH | --drift-probe]\n\
          \x20              [--session NAME] [--window N] [--warmup N] [--measure N]\n\
-         \x20              [--scale F] [--seed N] [--status] [--metrics] [--shutdown]\n\
+         \x20              [--scale F] [--seed N] [--corrupt-chunk N]\n\
+         \x20              [--status] [--metrics] [--health] [--shutdown]\n\
+         \x20      harness logs FILE [--level L] [--target PREFIX] [--follow] [--json]\n\
          experiments: fig1 fig8 fig9 fig10 fig12 fig13 fig16 fig18a fig18b\n\
          table2 fig19 ablate-queue ablate-filler ablate-confidence\n\
          ablate-depth prefetch limit all\n\
@@ -958,7 +1170,16 @@ fn print_usage() {
          stream, and diff every benchmark against a one-shot run);\n\
          serve-client streams a recorded trace (--trace, one session per\n\
          stream) or a synthesized benchmark (--stream) to a daemon and\n\
-         prints the final report JSON; --status/--metrics/--shutdown are\n\
-         daemon control requests"
+         prints the final report JSON; --status/--metrics/--health/\n\
+         --shutdown are daemon control requests; --drift-probe streams a\n\
+         synthetic session that switches stride family mid-stream and\n\
+         fails unless the daemon's drift detector catches it;\n\
+         --corrupt-chunk flips one byte in chunk N before sending it\n\
+         --log writes a structured binary journal of live events (admits,\n\
+         kills, drift alarms, run milestones; rotated at 16 MiB) without\n\
+         changing any deterministic output; --log-level gates it\n\
+         (debug|info|warn|error, default info);\n\
+         logs pretty-prints a journal (--json: one JSON object per\n\
+         record; --follow: keep polling, surviving rotation)"
     );
 }

@@ -41,6 +41,11 @@ pub struct ServeOpts {
     pub scale: f64,
     /// `--seed N` (selftest only): workload seed.
     pub seed: u64,
+    /// `--log PATH`: write the structured journal here (live-only; the
+    /// served reports stay byte-identical with logging on or off).
+    pub log: Option<PathBuf>,
+    /// `--log-level LEVEL`: minimum journal level (default `info`).
+    pub log_level: obs::log::Level,
 }
 
 impl Default for ServeOpts {
@@ -55,6 +60,8 @@ impl Default for ServeOpts {
             global_queue: cfg.global_queue,
             scale: 1.0,
             seed: 42,
+            log: None,
+            log_level: obs::log::Level::Info,
         }
     }
 }
@@ -88,6 +95,11 @@ pub fn parse_serve_args(args: Vec<String>) -> Result<ServeOpts, String> {
             "--global-queue" => opts.global_queue = parse_count(&a, it.next())?,
             "--scale" => opts.scale = parse_num(&a, it.next())?,
             "--seed" => opts.seed = parse_num(&a, it.next())?,
+            "--log" => {
+                let v = it.next().ok_or("--log needs a value (a journal path)")?;
+                opts.log = Some(PathBuf::from(v));
+            }
+            "--log-level" => opts.log_level = parse_level(&a, it.next())?,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown serve option: {other}")),
         }
@@ -133,8 +145,18 @@ pub struct ServeClientOpts {
     pub status: bool,
     /// `--metrics`: print the daemon's Prometheus exposition.
     pub metrics: bool,
+    /// `--health`: print the daemon's per-session health overview.
+    pub health: bool,
     /// `--shutdown`: ask the daemon to drain and exit.
     pub shutdown: bool,
+    /// `--corrupt-chunk N`: flip one payload byte in chunk N before
+    /// sending it — a deterministic way to exercise the server's
+    /// corrupt-chunk kill path (and its journal record) from the CLI.
+    pub corrupt_chunk: Option<usize>,
+    /// `--drift-probe`: synthesize a two-phase session (predictable
+    /// strides, then an unpredictable tail) that trips the online drift
+    /// detector; exits nonzero unless the daemon reports it drifting.
+    pub drift_probe: bool,
 }
 
 /// Parses `harness serve-client` arguments (same contract as
@@ -174,20 +196,28 @@ pub fn parse_serve_client_args(args: Vec<String>) -> Result<ServeClientOpts, Str
             "--seed" => opts.seed = parse_num(&a, it.next())?,
             "--status" => opts.status = true,
             "--metrics" => opts.metrics = true,
+            "--health" => opts.health = true,
             "--shutdown" => opts.shutdown = true,
+            "--corrupt-chunk" => opts.corrupt_chunk = Some(parse_num(&a, it.next())?),
+            "--drift-probe" => opts.drift_probe = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown serve-client option: {other}")),
         }
     }
     opts.socket = socket.ok_or("serve-client needs --socket PATH")?;
-    if opts.trace.is_some() && opts.stream.is_some() {
-        return Err("--trace and --stream are mutually exclusive".into());
+    let stream_modes =
+        opts.trace.is_some() as u8 + opts.stream.is_some() as u8 + opts.drift_probe as u8;
+    if stream_modes > 1 {
+        return Err("--trace, --stream, and --drift-probe are mutually exclusive".into());
     }
-    let acts_only = opts.status || opts.metrics || opts.shutdown;
-    if opts.trace.is_none() && opts.stream.is_none() && !acts_only {
+    if opts.corrupt_chunk.is_some() && stream_modes == 0 {
+        return Err("--corrupt-chunk needs a stream to corrupt (--trace or --stream)".into());
+    }
+    let acts_only = opts.status || opts.metrics || opts.health || opts.shutdown;
+    if stream_modes == 0 && !acts_only {
         return Err(
-            "serve-client needs something to do: --trace, --stream, --status, \
-             --metrics, or --shutdown"
+            "serve-client needs something to do: --trace, --stream, --drift-probe, \
+             --status, --metrics, --health, or --shutdown"
                 .into(),
         );
     }
@@ -206,6 +236,12 @@ fn parse_count(flag: &str, value: Option<String>) -> Result<usize, String> {
         return Err(format!("{flag}: must be at least 1"));
     }
     Ok(n)
+}
+
+/// Parses a journal level name (`debug`, `info`, `warn`, `error`).
+pub fn parse_level(flag: &str, value: Option<String>) -> Result<obs::log::Level, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a value (debug|info|warn|error)"))?;
+    obs::log::Level::parse(&v).ok_or_else(|| format!("{flag}: unknown level '{v}'"))
 }
 
 /// A socket path the daemon can actually bind: its parent directory must
@@ -240,6 +276,34 @@ fn benchmark_named(name: &str) -> Result<Benchmark, String> {
 
 /// Runs `harness serve`. `Err` is a runtime failure (exit 1).
 pub fn run_serve(opts: &ServeOpts) -> Result<(), String> {
+    let journal = enable_journal(opts.log.as_deref(), opts.log_level)?;
+    let result = run_serve_inner(opts);
+    if let Some(path) = journal {
+        let write_errors = obs::log::disable();
+        if write_errors > 0 {
+            eprintln!("journal {}: {write_errors} write errors", path.display());
+        }
+    }
+    result
+}
+
+/// Turns the global journal on when `--log` was given; returns the path
+/// so the caller knows to disable (and flush) it on the way out.
+pub fn enable_journal(
+    path: Option<&Path>,
+    level: obs::log::Level,
+) -> Result<Option<PathBuf>, String> {
+    let Some(path) = path else { return Ok(None) };
+    let cfg = obs::log::LogConfig {
+        level,
+        file: Some(path.to_path_buf()),
+        ..obs::log::LogConfig::default()
+    };
+    obs::log::enable(&cfg).map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+    Ok(Some(path.to_path_buf()))
+}
+
+fn run_serve_inner(opts: &ServeOpts) -> Result<(), String> {
     if opts.selftest {
         return run_selftest(opts);
     }
@@ -254,6 +318,15 @@ pub fn run_serve(opts: &ServeOpts) -> Result<(), String> {
     let socket = opts.socket.as_ref().expect("parse guarantees a mode");
     let server = Server::bind(socket, opts.config())
         .map_err(|e| format!("cannot bind {}: {e}", socket.display()))?;
+    obs::log::info(
+        "serve.daemon",
+        "daemon listening",
+        &[
+            ("max_sessions", obs::log::Value::from(opts.max_sessions)),
+            ("queue_depth", obs::log::Value::from(opts.queue_depth)),
+            ("global_queue", obs::log::Value::from(opts.global_queue)),
+        ],
+    );
     eprintln!(
         "gdiffd listening on {} (max-sessions {}, queue-depth {}, global-queue {})",
         socket.display(),
@@ -391,17 +464,74 @@ fn scaled_profile(scale: f64, seed: u64) -> RunParams {
     p
 }
 
+/// Value producers per `--drift-probe` phase (after warmup): a stable
+/// constant-stride run long enough to pin the baseline near 1.0, then an
+/// unpredictable tail long enough to push Page–Hinkley past its alarm.
+const PROBE_STABLE: u64 = 512;
+/// See [`PROBE_STABLE`].
+const PROBE_NOISE: u64 = 512;
+
+/// Builds the `--drift-probe` job: one PC walking a constant stride
+/// (gDiff predicts it perfectly once warm), then a xorshift64 value walk
+/// no stride predictor can follow. The mid-stream family switch is the
+/// textbook input the online drift detector exists to catch.
+fn job_from_drift_probe(opts: &ServeClientOpts) -> SessionJob {
+    let warmup = opts.warmup.unwrap_or(256);
+    let stable = warmup + PROBE_STABLE;
+    let measure = opts.measure.unwrap_or(stable + PROBE_NOISE - warmup);
+    let mut insts = Vec::with_capacity((stable + PROBE_NOISE) as usize);
+    let pc = 0x4000_0000u64;
+    let mut value = 0u64;
+    for _ in 0..stable {
+        value = value.wrapping_add(8);
+        insts.push(workloads::DynInst::alu(pc, 1, [Some(1), None], value));
+    }
+    let mut x = opts.seed | 1;
+    for _ in 0..PROBE_NOISE {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        insts.push(workloads::DynInst::alu(pc, 1, [Some(1), None], x));
+    }
+    let chunks = insts
+        .chunks(SYNTH_CHUNK_LEN)
+        .map(|c| tracefile::encode_wire_chunk(c, 0))
+        .collect();
+    SessionJob {
+        name: opts
+            .session
+            .clone()
+            .unwrap_or_else(|| "drift-probe".to_string()),
+        chunks,
+        warmup,
+        measure,
+    }
+}
+
 /// Runs `harness serve-client`: streams the requested sessions, then the
 /// control requests, printing one JSON document (or the raw exposition)
 /// per action to stdout. `Err` is a runtime failure (exit 1).
 pub fn run_serve_client(opts: &ServeClientOpts) -> Result<(), String> {
-    let jobs = if opts.trace.is_some() {
+    let mut jobs = if opts.trace.is_some() {
         jobs_from_trace(opts)?
     } else if opts.stream.is_some() {
         vec![job_from_stream(opts)]
+    } else if opts.drift_probe {
+        vec![job_from_drift_probe(opts)]
     } else {
         Vec::new()
     };
+    if let Some(n) = opts.corrupt_chunk {
+        for job in &mut jobs {
+            let total = job.chunks.len();
+            let chunk = job
+                .chunks
+                .get_mut(n)
+                .ok_or_else(|| format!("--corrupt-chunk {n}: session has {total} chunks"))?;
+            let mid = chunk.len() / 2;
+            chunk[mid] ^= 0x01;
+        }
+    }
 
     let connect = || {
         client::connect(&opts.socket)
@@ -429,7 +559,13 @@ pub fn run_serve_client(opts: &ServeClientOpts) -> Result<(), String> {
         );
         println!("{}", out.report.to_json());
     }
-    if opts.status || opts.metrics || opts.shutdown {
+    if opts.drift_probe {
+        let (mut r, mut w) = connect()?;
+        let overview = client::fetch_health(&mut r, &mut w).map_err(|e| format!("health: {e}"))?;
+        let name = jobs.first().map(|j| j.name.as_str()).unwrap_or("");
+        check_drift_probe(&overview, name)?;
+    }
+    if opts.status || opts.metrics || opts.health || opts.shutdown {
         let (mut r, mut w) = connect()?;
         if opts.status {
             let status =
@@ -441,12 +577,44 @@ pub fn run_serve_client(opts: &ServeClientOpts) -> Result<(), String> {
                 client::fetch_metrics(&mut r, &mut w).map_err(|e| format!("metrics: {e}"))?;
             print!("{text}");
         }
+        if opts.health {
+            let health =
+                client::fetch_health(&mut r, &mut w).map_err(|e| format!("health: {e}"))?;
+            println!("{}", health.to_json());
+        }
         if opts.shutdown {
             let ack =
                 client::request_shutdown(&mut r, &mut w).map_err(|e| format!("shutdown: {e}"))?;
             println!("{}", ack.to_json());
         }
     }
+    Ok(())
+}
+
+/// The probe's verdict: the daemon must remember the probe session as
+/// drifting (≥ 1 Page–Hinkley alarm). Prints the session's health JSON
+/// either way so failures are diagnosable.
+fn check_drift_probe(overview: &JsonValue, name: &str) -> Result<(), String> {
+    let sessions = overview
+        .path("sessions")
+        .and_then(|s| s.as_arr())
+        .ok_or("health overview missing `sessions`")?;
+    let entry = sessions
+        .iter()
+        .find(|s| s.path("session").and_then(|n| n.as_str()) == Some(name))
+        .ok_or_else(|| format!("drift probe: session {name} missing from health overview"))?;
+    println!("{}", entry.to_json());
+    let alarms = entry
+        .path("drift_alarms")
+        .and_then(|a| a.as_f64())
+        .unwrap_or(0.0);
+    if alarms < 1.0 {
+        return Err(format!(
+            "drift probe: session {name} never tripped the drift detector (state {})",
+            entry.path("state").and_then(|s| s.as_str()).unwrap_or("?")
+        ));
+    }
+    eprintln!("drift probe: {name} drifted as expected ({alarms} alarms)");
     Ok(())
 }
 
@@ -713,6 +881,74 @@ mod tests {
         assert_eq!(ok.stream, Some(Benchmark::Gcc));
         assert_eq!(ok.window, 8);
         assert!(parse_c(&["--socket", "/tmp/d.sock", "--shutdown"]).is_ok());
+    }
+
+    #[test]
+    fn serve_args_accept_log_flags() {
+        let ok = parse_s(&["--stdio", "--log", "/tmp/j.journal", "--log-level", "debug"]).unwrap();
+        assert_eq!(ok.log.as_deref(), Some(Path::new("/tmp/j.journal")));
+        assert_eq!(ok.log_level, obs::log::Level::Debug);
+        assert!(parse_s(&["--stdio", "--log-level", "loud"]).is_err());
+        assert!(parse_s(&["--stdio", "--log"]).is_err());
+    }
+
+    #[test]
+    fn client_args_probe_and_corruption_flags() {
+        // Stream modes stay mutually exclusive; corruption needs a stream.
+        assert!(parse_c(&[
+            "--socket",
+            "/tmp/d.sock",
+            "--drift-probe",
+            "--stream",
+            "gcc"
+        ])
+        .is_err());
+        assert!(parse_c(&["--socket", "/tmp/d.sock", "--corrupt-chunk", "0"]).is_err());
+        let ok = parse_c(&[
+            "--socket",
+            "/tmp/d.sock",
+            "--stream",
+            "gcc",
+            "--corrupt-chunk",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(ok.corrupt_chunk, Some(2));
+        assert!(
+            parse_c(&["--socket", "/tmp/d.sock", "--drift-probe"])
+                .unwrap()
+                .drift_probe
+        );
+        assert!(
+            parse_c(&["--socket", "/tmp/d.sock", "--health"])
+                .unwrap()
+                .health
+        );
+    }
+
+    #[test]
+    fn drift_probe_job_switches_family_after_the_stable_phase() {
+        let opts =
+            parse_c(&["--socket", "/tmp/d.sock", "--drift-probe", "--warmup", "64"]).unwrap();
+        let job = job_from_drift_probe(&opts);
+        assert_eq!(job.warmup, 64);
+        assert_eq!(job.measure, PROBE_STABLE + PROBE_NOISE);
+        let mut insts = Vec::new();
+        let mut all = Vec::new();
+        for chunk in &job.chunks {
+            tracefile::decode_wire_chunk(chunk, tracefile::DEFAULT_CHUNK_CAP, &mut insts).unwrap();
+            all.extend(insts.iter().cloned());
+        }
+        assert_eq!(all.len() as u64, 64 + PROBE_STABLE + PROBE_NOISE);
+        // The stable phase is a pure stride-8 walk; the tail is not.
+        let stable = &all[..(64 + PROBE_STABLE) as usize];
+        assert!(stable
+            .windows(2)
+            .all(|w| w[1].value.wrapping_sub(w[0].value) == 8));
+        let tail = &all[(64 + PROBE_STABLE) as usize..];
+        assert!(tail
+            .windows(2)
+            .any(|w| w[1].value.wrapping_sub(w[0].value) != 8));
     }
 
     #[test]

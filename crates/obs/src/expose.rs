@@ -343,6 +343,29 @@ mod tests {
     }
 
     #[test]
+    fn health_and_drop_families_validate() {
+        // The PR 8 observability families: the per-session health gauge
+        // (folded into a labeled family) and the timeline drop counter
+        // must render as valid exposition text.
+        let mut r = Registry::new();
+        for (session, state) in [("gcc", 0.0), ("mcf", 1.0), ("ammp", 2.0)] {
+            let g = r.gauge(&format!("serve.session.{session}.health"));
+            r.set_gauge(g, state);
+        }
+        let d = r.gauge("timeline.dropped_events");
+        r.set_gauge(d, 37.0);
+
+        let text = prometheus(&r, &[]);
+        validate(&text).expect("valid exposition");
+        assert!(text.contains("# TYPE serve_session_health gauge"), "{text}");
+        assert!(text.contains("serve_session_health{session=\"gcc\"} 0"));
+        assert!(text.contains("serve_session_health{session=\"mcf\"} 1"));
+        assert!(text.contains("serve_session_health{session=\"ammp\"} 2"));
+        assert!(text.contains("timeline_dropped_events 37"));
+        assert_eq!(text.matches("# TYPE serve_session_health").count(), 1);
+    }
+
+    #[test]
     fn output_is_stable_across_renders() {
         let mut r = Registry::new();
         // Register in one order...

@@ -24,11 +24,21 @@
 //!   trace-event JSON (`--timeline`), one track per worker thread.
 //! - [`expose`] — Prometheus text-format exposition of a registry and the
 //!   span table (`export-metrics`, the future serve daemon's `/metrics`).
+//! - [`log`] — a structured, leveled event journal: a bounded in-memory
+//!   ring of typed records plus a CRC-framed on-disk writer with
+//!   size-based rotation (`--log`, `harness logs`). The daemon's flight
+//!   recorder: every containment decision leaves a record.
+//! - [`health`] — per-session online accuracy monitoring: windowed
+//!   accuracy/coverage, an EWMA baseline frozen at end-of-warmup, and a
+//!   Page–Hinkley drift detector feeding journal events and a
+//!   `serve_session_health` gauge.
 
 #![forbid(unsafe_code)]
 
 pub mod expose;
+pub mod health;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod provenance;
 pub mod sample;
@@ -36,7 +46,9 @@ pub mod span;
 pub mod timeline;
 pub mod trace;
 
+pub use health::{HealthConfig, HealthEvent, HealthMonitor, HealthState};
 pub use json::JsonValue;
+pub use log::{Level, LogConfig};
 pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, Meter, Registry};
 pub use provenance::{
     FlightRecorder, NullSink, PredictionMade, PredictionResolved, Provenance, ProvenanceSink,

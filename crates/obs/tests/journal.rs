@@ -1,0 +1,342 @@
+//! Robustness of the on-disk journal: rotation at the size threshold,
+//! torn-tail tolerance (a crash mid-write costs the last record, never a
+//! panic — mirroring `tracefile`'s corrupt-chunk posture), CRC damage
+//! detection, live tailing across rotation, and a property test that
+//! every representable record survives the encode → disk → decode trip.
+//!
+//! The global logger is a process-wide singleton, so every test here
+//! serializes on one mutex and tears the logger down before releasing it.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use obs::log::{self, JournalTail, JournalWriter, Level, LogConfig, OwnedValue, Value, HEADER_LEN};
+use proptest::prelude::*;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "gdiff-journal-{}-{name}.journal",
+        std::process::id()
+    ))
+}
+
+/// Enables the journal at `path`, runs `body`, disables, and cleans the
+/// global logger up even if `body` panics half-way (the next test would
+/// otherwise inherit a live writer).
+fn with_journal(path: &Path, max_file_bytes: u64, body: impl FnOnce()) {
+    let cfg = LogConfig {
+        level: Level::Debug,
+        file: Some(path.to_path_buf()),
+        max_file_bytes,
+        ..LogConfig::default()
+    };
+    log::enable(&cfg).expect("enable journal");
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    let write_errors = log::disable();
+    if let Err(p) = result {
+        std::panic::resume_unwind(p);
+    }
+    assert_eq!(write_errors, 0, "journal writes must not fail");
+}
+
+fn cleanup(path: &Path) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(JournalWriter::rotated_path(path));
+}
+
+#[test]
+fn rotation_preserves_a_contiguous_recent_history() {
+    let _g = LOCK.lock().unwrap();
+    let path = tmp("rotate");
+    cleanup(&path);
+    // ~60 bytes per record against a 2 KiB bound: many rotations.
+    with_journal(&path, 2048, || {
+        for i in 0..200u64 {
+            log::info(
+                "test.rotate",
+                "filler record",
+                &[("i", Value::from(i)), ("pad", Value::str("xxxxxxxxxxxx"))],
+            );
+        }
+    });
+    let rotated = JournalWriter::rotated_path(&path);
+    assert!(rotated.exists(), "size bound must have forced a rotation");
+
+    let old = log::read_journal(&rotated).expect("rotated generation parses");
+    let new = log::read_journal(&path).expect("current generation parses");
+    assert!(old.warning.is_none() && new.warning.is_none());
+    assert!(!old.records.is_empty() && !new.records.is_empty());
+    // The two retained generations are seamless: the current file picks
+    // up exactly where the rotated one stopped, seqs strictly increasing.
+    let seqs: Vec<u64> = old
+        .records
+        .iter()
+        .chain(new.records.iter())
+        .map(|r| r.seq)
+        .collect();
+    assert!(
+        seqs.windows(2).all(|w| w[1] == w[0] + 1),
+        "seq gap: {seqs:?}"
+    );
+    assert_eq!(*seqs.last().unwrap(), 199);
+    cleanup(&path);
+}
+
+#[test]
+fn torn_tail_is_a_warning_never_a_panic() {
+    let _g = LOCK.lock().unwrap();
+    let path = tmp("torn");
+    cleanup(&path);
+    with_journal(&path, u64::MAX, || {
+        for i in 0..10u64 {
+            log::info("test.torn", "victim", &[("i", Value::from(i))]);
+        }
+    });
+    let full = std::fs::read(&path).unwrap();
+    let whole = log::read_journal(&path).unwrap();
+    assert_eq!(whole.records.len(), 10);
+    assert!(whole.warning.is_none());
+
+    // Chop bytes off the tail — a crash mid-write. Every cut inside the
+    // last record must read back as "the complete prefix plus a
+    // warning"; a cut exactly on the record boundary is just a shorter
+    // clean journal. No cut may panic or error.
+    let record_len = (full.len() - HEADER_LEN as usize) / 10;
+    let last_start = HEADER_LEN as usize + 9 * record_len;
+    std::fs::write(&path, &full[..last_start]).unwrap();
+    let out = log::read_journal(&path).expect("boundary cut reads");
+    assert_eq!(out.records.len(), 9);
+    assert!(out.warning.is_none(), "boundary cut is clean");
+    for cut in (last_start + 1..full.len()).step_by(3) {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let out = log::read_journal(&path).expect("torn tail still reads");
+        assert_eq!(out.records.len(), 9, "cut at {cut}");
+        assert!(out.warning.is_some(), "cut at {cut} must warn");
+    }
+
+    // Flip a body byte of the first record: hard CRC damage, reported,
+    // decoding stops there instead of inventing records.
+    let mut corrupt = full.clone();
+    corrupt[HEADER_LEN as usize + 8 + 2] ^= 0xff;
+    std::fs::write(&path, &corrupt).unwrap();
+    let out = log::read_journal(&path).expect("corrupt journal still reads");
+    assert!(out.records.is_empty());
+    let warning = out.warning.expect("corruption must be reported");
+    assert!(warning.contains("crc"), "unexpected warning: {warning}");
+    cleanup(&path);
+}
+
+#[test]
+fn empty_journal_reads_as_empty() {
+    let _g = LOCK.lock().unwrap();
+    let path = tmp("empty");
+    cleanup(&path);
+    with_journal(&path, u64::MAX, || {});
+    let out = log::read_journal(&path).unwrap();
+    assert!(out.records.is_empty());
+    assert!(out.warning.is_none());
+    cleanup(&path);
+}
+
+#[test]
+fn tail_follows_appends_across_rotation() {
+    let _g = LOCK.lock().unwrap();
+    let path = tmp("tail");
+    cleanup(&path);
+    let mut seen: Vec<u64> = Vec::new();
+    with_journal(&path, 2048, || {
+        log::info("test.tail", "first", &[]);
+        log::flush();
+        let mut tail = JournalTail::open(&path).expect("tail opens");
+        let (records, warning) = tail.poll().expect("first poll");
+        assert!(warning.is_none());
+        seen.extend(records.iter().map(|r| r.seq));
+        assert_eq!(seen, [0]);
+        // Push the writer through at least one rotation, polling as we
+        // go — the tail must reset to the fresh generation, not error.
+        for i in 0..120u64 {
+            log::info(
+                "test.tail",
+                "filler record",
+                &[("i", Value::from(i)), ("pad", Value::str("xxxxxxxxxxxx"))],
+            );
+            if i % 10 == 9 {
+                log::flush();
+                let (records, warning) = tail.poll().expect("poll");
+                assert!(warning.is_none());
+                seen.extend(records.iter().map(|r| r.seq));
+            }
+        }
+        log::flush();
+        let (records, _) = tail.poll().expect("final poll");
+        seen.extend(records.iter().map(|r| r.seq));
+    });
+    assert!(
+        JournalWriter::rotated_path(&path).exists(),
+        "test must actually cross a rotation"
+    );
+    // Rotation may skip the tail past a generation it never polled, but
+    // what it did deliver is in order, duplicate-free, and current.
+    assert!(
+        seen.windows(2).all(|w| w[1] > w[0]),
+        "out of order: {seen:?}"
+    );
+    assert_eq!(
+        *seen.last().unwrap(),
+        120,
+        "tail must reach the newest record"
+    );
+    cleanup(&path);
+}
+
+/// Static palettes for the `&'static str` record fields (targets,
+/// messages, keys are interned by design — no hot-path allocation).
+const TARGETS: &[&str] = &["serve.session", "serve.health", "harness.run", "t"];
+const MSGS: &[&str] = &[
+    "session admitted",
+    "drift_detected",
+    "x",
+    "corrupt chunk; killed",
+];
+const KEYS: &[&str; 4] = &["alpha", "seq", "detail", "k4"];
+
+/// What the journal stores for a string value: truncated to `STR_CAP`
+/// bytes on a char boundary.
+fn truncated(s: &str) -> String {
+    let mut end = s.len().min(log::STR_CAP);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    s[..end].to_string()
+}
+
+#[derive(Debug, Clone)]
+enum GenValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl GenValue {
+    fn to_value(&self) -> Value {
+        match self {
+            GenValue::U64(v) => Value::from(*v),
+            GenValue::I64(v) => Value::from(*v),
+            GenValue::F64(v) => Value::from(*v),
+            GenValue::Bool(v) => Value::from(*v),
+            GenValue::Str(s) => Value::str(s),
+        }
+    }
+
+    fn matches(&self, got: &OwnedValue) -> bool {
+        match (self, got) {
+            (GenValue::U64(a), OwnedValue::U64(b)) => a == b,
+            (GenValue::I64(a), OwnedValue::I64(b)) => a == b,
+            (GenValue::F64(a), OwnedValue::F64(b)) => a.to_bits() == b.to_bits(),
+            (GenValue::Bool(a), OwnedValue::Bool(b)) => a == b,
+            (GenValue::Str(a), OwnedValue::Str(b)) => &truncated(a) == b,
+            _ => false,
+        }
+    }
+}
+
+/// One to four bytes per char, so generated strings cross `STR_CAP`
+/// with multi-byte chars sitting right on the truncation boundary.
+fn make_string(bits: u64, len: usize) -> String {
+    const CHARS: &[char] = &['a', 'é', '中', '🦀'];
+    (0..len)
+        .map(|i| CHARS[((bits >> (2 * (i % 32))) as usize + i) % CHARS.len()])
+        .collect()
+}
+
+/// The vendored proptest has no `prop_oneof`: a generated tag picks the
+/// variant, `bits` seeds its payload (f64 through `from_bits`, so NaNs
+/// and infinities are exercised too).
+fn value_strategy() -> impl Strategy<Value = GenValue> {
+    (0u8..5, any::<u64>(), 0usize..40).prop_map(|(tag, bits, len)| match tag {
+        0 => GenValue::U64(bits),
+        1 => GenValue::I64(bits as i64),
+        2 => GenValue::F64(f64::from_bits(bits)),
+        3 => GenValue::Bool(bits & 1 == 1),
+        _ => GenValue::Str(make_string(bits, len)),
+    })
+}
+
+#[derive(Debug, Clone)]
+struct GenRecord {
+    level: u8,
+    target: u8,
+    msg: u8,
+    kvs: Vec<(u8, GenValue)>,
+}
+
+fn record_strategy() -> impl Strategy<Value = GenRecord> {
+    (
+        0u8..4,
+        0u8..TARGETS.len() as u8,
+        0u8..MSGS.len() as u8,
+        prop::collection::vec(
+            (0u8..KEYS.len() as u8, value_strategy()),
+            0..log::MAX_KVS + 1,
+        ),
+    )
+        .prop_map(|(level, target, msg, kvs)| GenRecord {
+            level,
+            target,
+            msg,
+            kvs,
+        })
+}
+
+fn level_of(i: u8) -> Level {
+    [Level::Debug, Level::Info, Level::Warn, Level::Error][i as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    /// Every batch of representable records survives the full
+    /// encode → file → decode trip with fields intact.
+    #[test]
+    fn records_round_trip_through_the_file(
+        batch in prop::collection::vec(record_strategy(), 1..24),
+    ) {
+        let _g = LOCK.lock().unwrap();
+        let path = tmp("props");
+        cleanup(&path);
+        with_journal(&path, u64::MAX, || {
+            for r in &batch {
+                let kvs: Vec<(&'static str, Value)> = r
+                    .kvs
+                    .iter()
+                    .map(|(k, v)| (KEYS[*k as usize], v.to_value()))
+                    .collect();
+                log::event(
+                    level_of(r.level),
+                    TARGETS[r.target as usize],
+                    MSGS[r.msg as usize],
+                    &kvs,
+                );
+            }
+        });
+        let out = log::read_journal(&path).expect("journal parses");
+        cleanup(&path);
+        prop_assert!(out.warning.is_none(), "{:?}", out.warning);
+        prop_assert_eq!(out.records.len(), batch.len());
+        for (i, (want, got)) in batch.iter().zip(&out.records).enumerate() {
+            prop_assert_eq!(got.seq, i as u64);
+            prop_assert_eq!(got.level, level_of(want.level), "record {}", i);
+            prop_assert_eq!(&got.target, TARGETS[want.target as usize]);
+            prop_assert_eq!(&got.msg, MSGS[want.msg as usize]);
+            prop_assert_eq!(got.kvs.len(), want.kvs.len());
+            for ((wk, wv), (gk, gv)) in want.kvs.iter().zip(&got.kvs) {
+                prop_assert_eq!(gk, KEYS[*wk as usize]);
+                prop_assert!(wv.matches(gv), "{:?} != {:?}", wv, gv);
+            }
+        }
+    }
+}

@@ -188,6 +188,19 @@ pub fn fetch_metrics(
     }
 }
 
+/// Asks a daemon for per-session health (`gdiff-serve-health/v1`).
+///
+/// Feature-negotiated: a server that advertises `"health"` in its WELCOME
+/// `features` array answers this on any connection. This helper runs on a
+/// fresh control connection and returns every known session's health.
+pub fn fetch_health(
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+) -> Result<JsonValue, ClientError> {
+    frame::write_frame(writer, frame::HEALTH_REQ, &[])?;
+    expect_json(reader, frame::HEALTH, "health")
+}
+
 /// Sends a SHUTDOWN frame and waits for the acknowledging status frame.
 pub fn request_shutdown(
     reader: &mut impl Read,

@@ -52,6 +52,9 @@ pub const SHUTDOWN: u8 = 0x05;
 pub const RESUME: u8 = 0x06;
 /// Client → server: ask for the Prometheus exposition.
 pub const METRICS_REQ: u8 = 0x07;
+/// Client → server: ask for per-session health (JSON). Negotiated: only
+/// clients that saw `"health"` in the WELCOME `features` array send it.
+pub const HEALTH_REQ: u8 = 0x08;
 
 /// Server → client: session accepted (JSON: negotiated limits).
 pub const WELCOME: u8 = 0x81;
@@ -67,6 +70,8 @@ pub const BUSY: u8 = 0x85;
 pub const ERROR: u8 = 0x86;
 /// Server → client: Prometheus exposition text.
 pub const METRICS: u8 = 0x87;
+/// Server → client: health report (JSON, `gdiff-serve-health/v1`).
+pub const HEALTH: u8 = 0x88;
 
 /// A human-readable name for a frame type (diagnostics).
 pub fn type_name(t: u8) -> &'static str {
@@ -78,6 +83,7 @@ pub fn type_name(t: u8) -> &'static str {
         SHUTDOWN => "shutdown",
         RESUME => "resume",
         METRICS_REQ => "metrics-req",
+        HEALTH_REQ => "health-req",
         WELCOME => "welcome",
         ACK => "ack",
         STATUS => "status",
@@ -85,6 +91,7 @@ pub fn type_name(t: u8) -> &'static str {
         BUSY => "busy",
         ERROR => "error",
         METRICS => "metrics",
+        HEALTH => "health",
         _ => "unknown",
     }
 }

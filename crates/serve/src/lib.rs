@@ -47,15 +47,26 @@
 //! (go-back-N) can never reorder or duplicate predictor updates.
 //!
 //! Control conversations (no session): `STATUS_REQ` → `STATUS`,
-//! `METRICS_REQ` → `METRICS` (Prometheus exposition text), `SHUTDOWN` →
-//! `STATUS`, after which the daemon drains every live session — in-flight
-//! chunks are processed, each session receives a final `REPORT` with
-//! `reason: "shutdown"` — and exits.
+//! `METRICS_REQ` → `METRICS` (Prometheus exposition text), `HEALTH_REQ` →
+//! `HEALTH` (per-session online health, `gdiff-serve-health/v1`),
+//! `SHUTDOWN` → `STATUS`, after which the daemon drains every live
+//! session — in-flight chunks are processed, each session receives a
+//! final `REPORT` with `reason: "shutdown"` — and exits.
+//!
+//! `HEALTH_REQ` is version-negotiated: the server advertises
+//! `"features": ["health"]` in WELCOME, and clients that predate the
+//! feature never send the frame (inside a session it returns that
+//! session's health; on a control connection, every known session's).
 //!
 //! Failure containment: a malformed frame or a CRC-corrupt chunk draws one
 //! `ERROR` frame and kills that session only; the daemon keeps serving
 //! everyone else. A session evicted to make room (LRU, `--max-sessions`)
-//! gets `ERROR {code: "evicted"}`.
+//! gets `ERROR {code: "evicted"}`. Every kill path — malformed frame,
+//! corrupt chunk, unexpected frame, vanished client, eviction — leaves
+//! exactly one structured journal record (`obs::log`) naming the session,
+//! slot id, in-flight sequence number, and reason; online accuracy drift
+//! (`obs::health`) surfaces as `drift_detected`/`drift_recovered` records
+//! and a `serve_session_health` gauge.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,4 +81,4 @@ pub const PROTOCOL_SCHEMA: &str = "gdiff-serve/v1";
 
 pub use client::{ClientError, SessionOutcome};
 pub use server::{serve_stdio, ServeConfig, Server, ServerHandle, ServerState};
-pub use session::{SessionCore, SessionParams};
+pub use session::{SessionCore, SessionParams, HEALTH_SCHEMA, REPORT_SCHEMA};

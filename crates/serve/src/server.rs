@@ -40,15 +40,21 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use obs::health::HealthState;
+use obs::log::{self as jlog, Value};
 use obs::sample::SharedRegistry;
 use obs::JsonValue;
 use tracefile::{decode_wire_chunk, DEFAULT_CHUNK_CAP};
 
 use crate::frame::{self, Frame, FrameError};
-use crate::session::{SessionCore, SessionParams};
+use crate::session::{SessionCore, SessionParams, HEALTH_SCHEMA};
 
 /// Schema tag of STATUS frame payloads.
 pub const STATUS_SCHEMA: &str = "gdiff-serve-status/v1";
+
+/// Upper bound on remembered per-session health entries (live sessions
+/// plus recently ended ones a control connection can still ask about).
+const HEALTH_HISTORY: usize = 256;
 
 /// Daemon limits.
 #[derive(Debug, Clone, Copy)]
@@ -109,6 +115,11 @@ pub struct ServerState {
     /// Every open connection's socket, session or not, so shutdown can
     /// wake blocked readers instead of waiting on them.
     conns: Mutex<HashMap<u64, UnixStream>>,
+    /// Last-known health per session name (live and recently ended),
+    /// served to control connections via HEALTH frames. Bounded at
+    /// [`HEALTH_HISTORY`]; oldest entries fall off first. The `u64` is
+    /// the LRU clock tick of the last update.
+    health_map: Mutex<HashMap<String, (u64, JsonValue)>>,
 }
 
 impl ServerState {
@@ -122,6 +133,7 @@ impl ServerState {
             next_id: AtomicU64::new(0),
             table: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
+            health_map: Mutex::new(HashMap::new()),
         });
         // Pre-register the daemon-level families so a scrape of an idle
         // daemon already shows them at zero.
@@ -204,6 +216,18 @@ impl ServerState {
             }
             victim.wake_reader();
             self.count("serve.evictions", 1);
+            // The one journal record for this kill path: its reader wakes
+            // into a silent Killed return.
+            jlog::warn(
+                "serve.session",
+                "session evicted (lru)",
+                &[
+                    ("session", Value::str(&victim.name)),
+                    ("sid", victim_id.into()),
+                    ("evicted_for", Value::str(name)),
+                ],
+            );
+            self.mark_session_killed(&victim.name);
         }
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         let slot = Arc::new(SessionSlot {
@@ -216,6 +240,9 @@ impl ServerState {
         table.insert(id, slot);
         self.set_sessions_gauge(table.len());
         self.count("serve.sessions_started", 1);
+        // A fresh session starts a fresh health history, even if an
+        // earlier same-named session ended killed.
+        self.health_map.lock().unwrap().remove(name);
         Ok(id)
     }
 
@@ -241,17 +268,80 @@ impl ServerState {
         let name = core.params().name.clone();
         let (chunks, records) = (core.chunks(), core.records());
         let (acc, cov) = (core.stats().accuracy(), core.coverage());
+        let health = core.health().state().as_gauge();
         self.live.with(|r| {
             for (metric, v) in [("chunks", chunks), ("records", records)] {
                 let id = r.counter(&format!("serve.session.{name}.{metric}"));
                 r.reset_counter(id);
                 r.add(id, v);
             }
-            for (metric, v) in [("accuracy", acc), ("coverage", cov)] {
+            for (metric, v) in [("accuracy", acc), ("coverage", cov), ("health", health)] {
                 let id = r.gauge(&format!("serve.session.{name}.{metric}"));
                 r.set_gauge(id, v);
             }
         });
+        self.record_health(&name, core.health_json());
+    }
+
+    /// Remembers a session's latest health payload for control-connection
+    /// HEALTH frames. A `killed` entry is terminal until the name is
+    /// readmitted.
+    fn record_health(&self, name: &str, json: JsonValue) {
+        let mut map = self.health_map.lock().unwrap();
+        if let Some((_, existing)) = map.get(name) {
+            if existing.path("state").and_then(|s| s.as_str()) == Some("killed") {
+                return;
+            }
+        }
+        let tick = self.tick();
+        map.insert(name.to_string(), (tick, json));
+        if map.len() > HEALTH_HISTORY {
+            if let Some(oldest) = map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&oldest);
+            }
+        }
+    }
+
+    /// Flips a session's health surfaces to `killed`: the Prometheus
+    /// gauge and the control-connection HEALTH entry. The caller owns
+    /// the journal record explaining *why*.
+    fn mark_session_killed(&self, name: &str) {
+        self.live.with(|r| {
+            let id = r.gauge(&format!("serve.session.{name}.health"));
+            r.set_gauge(id, HealthState::Killed.as_gauge());
+        });
+        let mut map = self.health_map.lock().unwrap();
+        let tick = self.tick();
+        match map.get_mut(name) {
+            Some((t, json)) => {
+                *t = tick;
+                json.set("state", "killed");
+            }
+            None => {
+                let json = JsonValue::object()
+                    .with("schema", HEALTH_SCHEMA)
+                    .with("session", name)
+                    .with("state", "killed");
+                map.insert(name.to_string(), (tick, json));
+            }
+        }
+    }
+
+    /// The control-connection HEALTH payload: every remembered session's
+    /// latest health, name-sorted for a deterministic wire surface.
+    fn health_overview(&self) -> JsonValue {
+        let map = self.health_map.lock().unwrap();
+        let mut entries: Vec<(&String, &JsonValue)> =
+            map.iter().map(|(k, (_, v))| (k, v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let arr: Vec<JsonValue> = entries.into_iter().map(|(_, v)| v.clone()).collect();
+        JsonValue::object()
+            .with("schema", HEALTH_SCHEMA)
+            .with("sessions", JsonValue::Arr(arr))
     }
 
     /// The `server` section of STATUS payloads.
@@ -305,6 +395,11 @@ fn handle_connection(
             Err(FrameError::Closed) => return,
             Err(e) => {
                 state.count("serve.errors", 1);
+                jlog::error(
+                    "serve",
+                    "malformed frame before hello; connection dropped",
+                    &[("detail", Value::str(&e.to_string()))],
+                );
                 send_error(&writer, "malformed-frame", &e.to_string());
                 return;
             }
@@ -329,8 +424,14 @@ fn handle_connection(
                     return;
                 }
             }
+            frame::HEALTH_REQ => {
+                if send_json(&writer, frame::HEALTH, &state.health_overview()).is_err() {
+                    return;
+                }
+            }
             frame::SHUTDOWN => {
                 state.shutdown.store(true, Ordering::SeqCst);
+                jlog::info("serve", "shutdown requested; draining sessions", &[]);
                 let status = JsonValue::object()
                     .with("schema", STATUS_SCHEMA)
                     .with("server", state.status_json());
@@ -339,6 +440,11 @@ fn handle_connection(
             }
             other => {
                 state.count("serve.errors", 1);
+                jlog::error(
+                    "serve",
+                    "unexpected frame before hello; connection dropped",
+                    &[("frame", Value::str(frame::type_name(other)))],
+                );
                 send_error(
                     &writer,
                     "unexpected-frame",
@@ -365,6 +471,11 @@ fn run_session(
         Ok(p) => p,
         Err(detail) => {
             state.count("serve.errors", 1);
+            jlog::error(
+                "serve.session",
+                "bad hello rejected",
+                &[("detail", Value::str(&detail))],
+            );
             send_error(writer, "bad-hello", &detail);
             return;
         }
@@ -373,15 +484,34 @@ fn run_session(
         Ok(id) => id,
         Err(detail) => {
             state.count("serve.errors", 1);
+            jlog::error(
+                "serve.session",
+                "duplicate session rejected",
+                &[("session", Value::str(&params.name))],
+            );
             send_error(writer, "duplicate-session", &detail);
             return;
         }
     };
+    jlog::info(
+        "serve.session",
+        "session admitted",
+        &[
+            ("session", Value::str(&params.name)),
+            ("sid", id.into()),
+            ("order", params.order.into()),
+            ("warmup", params.warmup.into()),
+        ],
+    );
     let welcome = JsonValue::object()
         .with("schema", crate::PROTOCOL_SCHEMA)
         .with("session", params.name.as_str())
         .with("chunk_cap", u64::from(DEFAULT_CHUNK_CAP))
-        .with("queue", state.cfg.queue_depth as u64);
+        .with("queue", state.cfg.queue_depth as u64)
+        // Version negotiation: a v1 client that predates HEALTH ignores
+        // unknown WELCOME keys and never sends HEALTH_REQ; a new client
+        // sends it only after seeing "health" here.
+        .with("features", JsonValue::Arr(vec!["health".into()]));
     if send_json(writer, frame::WELCOME, &welcome).is_err() {
         state.remove(id);
         return;
@@ -447,9 +577,21 @@ fn session_reader(
                     ReadEnd::Killed
                 };
             }
-            Err(FrameError::Closed) => return ReadEnd::Killed, // client vanished
+            Err(FrameError::Closed) => {
+                // Client vanished mid-session without a BYE.
+                kill_session_record(state, core, id, "client vanished", accepted, "eof");
+                return ReadEnd::Killed;
+            }
             Err(e) => {
                 state.count("serve.errors", 1);
+                kill_session_record(
+                    state,
+                    core,
+                    id,
+                    "malformed frame; session killed",
+                    accepted,
+                    &e.to_string(),
+                );
                 send_error(writer, "malformed-frame", &e.to_string());
                 return ReadEnd::Killed;
             }
@@ -463,13 +605,21 @@ fn session_reader(
                     Ok(x) => x,
                     Err(e) => {
                         state.count("serve.errors", 1);
+                        kill_session_record(
+                            state,
+                            core,
+                            id,
+                            "malformed chunk payload; session killed",
+                            accepted,
+                            &e.to_string(),
+                        );
                         send_error(writer, "malformed-frame", &e.to_string());
                         return ReadEnd::Killed;
                     }
                 };
                 let over_global = state.queued.load(Ordering::SeqCst) >= state.cfg.global_queue;
                 if seq != accepted || over_global {
-                    busy(state, writer, accepted);
+                    busy(state, core, writer, accepted, seq, over_global);
                     continue;
                 }
                 match tx.try_send(Work::Chunk(f.payload)) {
@@ -477,11 +627,19 @@ fn session_reader(
                         state.queued.fetch_add(1, Ordering::SeqCst);
                         accepted += 1;
                     }
-                    Err(TrySendError::Full(_)) => busy(state, writer, accepted),
+                    Err(TrySendError::Full(_)) => busy(state, core, writer, accepted, seq, false),
                     Err(TrySendError::Disconnected(_)) => return ReadEnd::Killed,
                 }
             }
             frame::RESUME => {
+                if jlog::enabled(jlog::Level::Debug) {
+                    let name = core.lock().unwrap().params().name.clone();
+                    jlog::debug(
+                        "serve.session",
+                        "resume; hold gate opened",
+                        &[("session", Value::str(&name)), ("sid", id.into())],
+                    );
+                }
                 let (open, cv) = &**gate;
                 *open.lock().unwrap() = true;
                 cv.notify_all();
@@ -496,13 +654,42 @@ fn session_reader(
                     return ReadEnd::Killed;
                 }
             }
-            frame::BYE => return ReadEnd::Bye,
+            frame::HEALTH_REQ => {
+                let payload = core.lock().unwrap().health_json();
+                if send_json(writer, frame::HEALTH, &payload).is_err() {
+                    return ReadEnd::Killed;
+                }
+            }
+            frame::BYE => {
+                if jlog::enabled(jlog::Level::Info) {
+                    let name = core.lock().unwrap().params().name.clone();
+                    jlog::info(
+                        "serve.session",
+                        "bye; stream complete",
+                        &[
+                            ("session", Value::str(&name)),
+                            ("sid", id.into()),
+                            ("chunks", accepted.into()),
+                        ],
+                    );
+                }
+                return ReadEnd::Bye;
+            }
             frame::SHUTDOWN => {
                 state.shutdown.store(true, Ordering::SeqCst);
+                jlog::info("serve", "shutdown requested; draining sessions", &[]);
                 return ReadEnd::Shutdown;
             }
             other => {
                 state.count("serve.errors", 1);
+                kill_session_record(
+                    state,
+                    core,
+                    id,
+                    "unexpected frame inside a session; session killed",
+                    accepted,
+                    frame::type_name(other),
+                );
                 send_error(
                     writer,
                     "unexpected-frame",
@@ -534,7 +721,7 @@ fn session_worker(
         match item {
             Work::Chunk(payload) => {
                 state.queued.fetch_sub(1, Ordering::SeqCst);
-                let (_, wire) = match frame::split_chunk_payload(&payload) {
+                let (seq, wire) = match frame::split_chunk_payload(&payload) {
                     Ok(x) => x,
                     Err(_) => unreachable!("reader validated the sequence prefix"),
                 };
@@ -542,6 +729,14 @@ fn session_worker(
                 if let Err(e) = decode_wire_chunk(wire, DEFAULT_CHUNK_CAP, &mut insts) {
                     let chunk = core.lock().unwrap().chunks();
                     state.count("serve.errors", 1);
+                    kill_session_record(
+                        &state,
+                        &core,
+                        id,
+                        "corrupt chunk; session killed",
+                        seq,
+                        &format!("chunk {chunk}: {e}"),
+                    );
                     send_error(&writer, "corrupt-chunk", &format!("chunk {chunk}: {e}"));
                     // Kill the session: mark the slot and wake the reader
                     // so it stops accepting more chunks.
@@ -551,20 +746,48 @@ fn session_worker(
                     }
                     break;
                 }
-                let ack = {
+                let (ack, events, name) = {
                     let mut core = core.lock().unwrap();
                     core.feed_chunk(&insts);
                     state.publish_session(&core);
-                    core.progress_json()
+                    (
+                        core.progress_json(),
+                        core.take_health_events(),
+                        core.params().name.clone(),
+                    )
                 };
+                for ev in events {
+                    log_health_event(&name, id, &ev);
+                }
                 state.count("serve.chunks", 1);
                 state.count("serve.records", insts.len() as u64);
                 if send_json(&writer, frame::ACK, &ack).is_err() {
+                    kill_session_record(
+                        &state,
+                        &core,
+                        id,
+                        "ack write failed; session killed",
+                        seq,
+                        "client write half broken",
+                    );
                     break;
                 }
             }
             Work::End(reason) => {
                 let report = core.lock().unwrap().report_json(reason);
+                if jlog::enabled(jlog::Level::Info) {
+                    let core = core.lock().unwrap();
+                    jlog::info(
+                        "serve.session",
+                        "session report",
+                        &[
+                            ("session", Value::str(&core.params().name)),
+                            ("reason", Value::str(reason)),
+                            ("producers", core.producers().into()),
+                            ("accuracy", core.stats().accuracy().into()),
+                        ],
+                    );
+                }
                 let _ = send_json(&writer, frame::REPORT, &report);
                 break;
             }
@@ -585,8 +808,107 @@ fn killed(state: &Arc<ServerState>, id: u64) -> bool {
     state.slot(id).is_none_or(|s| s.kill.load(Ordering::SeqCst))
 }
 
-fn busy(state: &Arc<ServerState>, writer: &Arc<Mutex<Box<dyn Write + Send>>>, accepted: u64) {
+/// Turns a health transition into its journal record. The messages are
+/// the stable grep surface (`drift_detected`, `drift_recovered`).
+fn log_health_event(name: &str, id: u64, ev: &obs::health::HealthEvent) {
+    use obs::health::HealthEvent::*;
+    match ev {
+        BaselineCaptured { baseline, samples } => jlog::info(
+            "serve.health",
+            "baseline_captured",
+            &[
+                ("session", Value::str(name)),
+                ("sid", id.into()),
+                ("baseline", (*baseline).into()),
+                ("samples", (*samples).into()),
+            ],
+        ),
+        DriftDetected {
+            baseline,
+            window_accuracy,
+            ph,
+            ..
+        } => jlog::warn(
+            "serve.health",
+            "drift_detected",
+            &[
+                ("session", Value::str(name)),
+                ("baseline", (*baseline).into()),
+                ("window_accuracy", (*window_accuracy).into()),
+                ("ph", (*ph).into()),
+            ],
+        ),
+        DriftRecovered {
+            baseline,
+            window_accuracy,
+            samples,
+        } => jlog::info(
+            "serve.health",
+            "drift_recovered",
+            &[
+                ("session", Value::str(name)),
+                ("baseline", (*baseline).into()),
+                ("window_accuracy", (*window_accuracy).into()),
+                ("samples", (*samples).into()),
+            ],
+        ),
+    }
+}
+
+/// The one structured record every session-kill path must leave: session
+/// name, slot id, the frame/chunk sequence in flight, and the reason.
+/// Also flips the session's health surfaces to `killed`.
+fn kill_session_record(
+    state: &Arc<ServerState>,
+    core: &Arc<Mutex<SessionCore>>,
+    id: u64,
+    msg: &'static str,
+    seq: u64,
+    detail: &str,
+) {
+    let name = {
+        let mut core = core.lock().unwrap();
+        core.kill_health();
+        core.params().name.clone()
+    };
+    state.mark_session_killed(&name);
+    jlog::error(
+        "serve.session",
+        msg,
+        &[
+            ("session", Value::str(&name)),
+            ("sid", id.into()),
+            // `frame_seq`, not `seq`: the journal record itself already
+            // carries a `seq` (its position in the journal) and the two
+            // must not collide in the flattened JSON form.
+            ("frame_seq", seq.into()),
+            ("detail", Value::str(detail)),
+        ],
+    );
+}
+
+fn busy(
+    state: &Arc<ServerState>,
+    core: &Arc<Mutex<SessionCore>>,
+    writer: &Arc<Mutex<Box<dyn Write + Send>>>,
+    accepted: u64,
+    refused_seq: u64,
+    global: bool,
+) {
     state.count("serve.busy", 1);
+    if jlog::enabled(jlog::Level::Debug) {
+        let name = core.lock().unwrap().params().name.clone();
+        jlog::debug(
+            "serve.session",
+            "busy; chunk refused (go-back-n)",
+            &[
+                ("session", Value::str(&name)),
+                ("accepted", accepted.into()),
+                ("refused_seq", refused_seq.into()),
+                ("global", global.into()),
+            ],
+        );
+    }
     let _ = send_json(
         writer,
         frame::BUSY,
@@ -693,11 +1015,17 @@ impl Server {
         // Drain: wake every blocked reader. Session readers see the
         // shutdown flag, queue a final End("shutdown"), and their workers
         // report; idle control connections just close.
+        jlog::info(
+            "serve",
+            "draining",
+            &[("sessions", state.table.lock().unwrap().len().into())],
+        );
         state.wake_all_conns();
         for h in handlers {
             let _ = h.join();
         }
         let _ = std::fs::remove_file(&path);
+        jlog::info("serve", "daemon stopped", &[]);
         Ok(())
     }
 

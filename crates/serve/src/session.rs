@@ -10,12 +10,16 @@
 //! to the same-seed one-shot run.
 
 use gdiff::GDiffPredictor;
+use obs::health::{HealthConfig, HealthEvent, HealthMonitor};
 use obs::JsonValue;
 use predictors::{Capacity, PredictorStats, ValuePredictor};
 use workloads::DynInst;
 
 /// Schema tag of the final session report payload.
 pub const REPORT_SCHEMA: &str = "gdiff-serve-report/v1";
+
+/// Schema tag of the per-session HEALTH payload.
+pub const HEALTH_SCHEMA: &str = "gdiff-serve-health/v1";
 
 /// Parameters a client proposes in its HELLO frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -168,6 +172,12 @@ pub struct SessionCore {
     chunks: u64,
     /// Raw records fed (producers and non-producers alike).
     records: u64,
+    /// Online accuracy health. Live-only: it observes the same resolved
+    /// predictions the stats do, and nothing it computes reaches the
+    /// deterministic report/progress payloads.
+    health: HealthMonitor,
+    /// Health transitions since the last [`SessionCore::take_health_events`].
+    pending_health: Vec<HealthEvent>,
 }
 
 impl SessionCore {
@@ -186,6 +196,8 @@ impl SessionCore {
             producers: 0,
             chunks: 0,
             records: 0,
+            health: HealthMonitor::new(HealthConfig::default()),
+            pending_health: Vec::new(),
         }
     }
 
@@ -212,8 +224,19 @@ impl SessionCore {
                 continue;
             }
             let predicted = self.predictor.predict(inst.pc);
-            if self.producers >= self.params.warmup {
+            let past_warmup = self.producers >= self.params.warmup;
+            if past_warmup {
                 self.stats.record(predicted, false, inst.value);
+            }
+            // The health tap rides the same resolved stream the stats
+            // see; it feeds journal events and HEALTH frames only, never
+            // the deterministic report.
+            if let Some(ev) = self.health.on_resolved(
+                predicted.is_some(),
+                predicted == Some(inst.value),
+                past_warmup,
+            ) {
+                self.pending_health.push(ev);
             }
             self.predictor.update(inst.pc, inst.value);
             self.producers += 1;
@@ -223,6 +246,31 @@ impl SessionCore {
     /// Accumulated accuracy statistics.
     pub fn stats(&self) -> &PredictorStats {
         &self.stats
+    }
+
+    /// The online health monitor (read-only view).
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// Marks the session's health killed (containment logs the reason).
+    pub fn kill_health(&mut self) {
+        self.health.kill();
+    }
+
+    /// Drains health transitions accumulated since the last call, in
+    /// stream order. The worker turns these into journal records and
+    /// gauge flips after each chunk.
+    pub fn take_health_events(&mut self) -> Vec<HealthEvent> {
+        std::mem::take(&mut self.pending_health)
+    }
+
+    /// The [`HEALTH_SCHEMA`] payload for this session.
+    pub fn health_json(&self) -> JsonValue {
+        self.health
+            .to_json()
+            .with("schema", HEALTH_SCHEMA)
+            .with("session", self.params.name.as_str())
     }
 
     /// Chunks fed so far.

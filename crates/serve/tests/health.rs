@@ -1,0 +1,225 @@
+//! Online health end to end: the drift detector against sessions whose
+//! stride family shifts mid-stream, the stability guarantee for streams
+//! that never shift, chunking invariance (the serve-level analog of the
+//! harness's worker-count determinism), and the `HEALTH` frame's
+//! feature-negotiated protocol surface.
+
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+use obs::health::{HealthConfig, HealthEvent, HealthState};
+use serve::frame;
+use serve::{client, ServeConfig, Server, ServerHandle, SessionCore, SessionParams};
+use tracefile::encode_wire_chunk;
+use workloads::DynInst;
+
+const WARMUP: u64 = 256;
+/// Producers in the predictable phase after warmup.
+const STABLE: u64 = 512;
+/// Producers in the unpredictable tail.
+const NOISE: u64 = 512;
+
+fn params(name: &str) -> SessionParams {
+    SessionParams {
+        name: name.to_string(),
+        warmup: WARMUP,
+        measure: STABLE + NOISE,
+        ..SessionParams::default()
+    }
+}
+
+/// `n` producers walking a constant stride on one PC — the family gDiff
+/// locks onto perfectly.
+fn stride_insts(n: u64, value: &mut u64) -> Vec<DynInst> {
+    (0..n)
+        .map(|_| {
+            *value = value.wrapping_add(8);
+            DynInst::alu(0x4000_0000, 1, [Some(1), None], *value)
+        })
+        .collect()
+}
+
+/// `n` producers on the same PC whose values are a xorshift64 walk — no
+/// stride structure at all.
+fn noise_insts(n: u64, x: &mut u64) -> Vec<DynInst> {
+    (0..n)
+        .map(|_| {
+            *x ^= *x << 13;
+            *x ^= *x >> 7;
+            *x ^= *x << 17;
+            DynInst::alu(0x4000_0000, 1, [Some(1), None], *x)
+        })
+        .collect()
+}
+
+/// The two-phase probe stream: warmup+stable stride, then noise.
+fn probe_insts() -> Vec<DynInst> {
+    let mut value = 0u64;
+    let mut insts = stride_insts(WARMUP + STABLE, &mut value);
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    insts.extend(noise_insts(NOISE, &mut x));
+    insts
+}
+
+/// Feeds `insts` through a core in `per_chunk`-sized chunks, draining
+/// health events after every chunk.
+fn run_core(insts: &[DynInst], per_chunk: usize) -> (SessionCore, Vec<HealthEvent>) {
+    let mut core = SessionCore::new(params("probe"));
+    let mut events = Vec::new();
+    for chunk in insts.chunks(per_chunk) {
+        core.feed_chunk(chunk);
+        events.extend(core.take_health_events());
+    }
+    (core, events)
+}
+
+#[test]
+fn stride_switch_alarms_within_one_window() {
+    let (core, events) = run_core(&probe_insts(), 1_000);
+    let switch = WARMUP + STABLE;
+    let window = HealthConfig::default().window as u64;
+
+    assert!(
+        matches!(events[0], HealthEvent::BaselineCaptured { samples, baseline }
+            if samples == WARMUP + 1 && baseline > 0.9),
+        "first event must be a near-1.0 baseline at end of warmup: {events:?}"
+    );
+    let alarms: Vec<&HealthEvent> = events
+        .iter()
+        .filter(|e| matches!(e, HealthEvent::DriftDetected { .. }))
+        .collect();
+    assert_eq!(alarms.len(), 1, "exactly one alarm: {events:?}");
+    let HealthEvent::DriftDetected { samples, .. } = alarms[0] else {
+        unreachable!()
+    };
+    assert!(
+        *samples > switch && *samples <= switch + window,
+        "alarm at sample {samples}, switch at {switch}, window {window}"
+    );
+    assert_eq!(core.health().state(), HealthState::Drifting);
+    assert_eq!(core.health().drift_alarms(), 1);
+}
+
+#[test]
+fn stable_stream_never_alerts() {
+    let mut value = 0u64;
+    let insts = stride_insts(WARMUP + STABLE + NOISE, &mut value);
+    let (core, events) = run_core(&insts, 777);
+    assert_eq!(events.len(), 1, "only the baseline capture: {events:?}");
+    assert!(matches!(events[0], HealthEvent::BaselineCaptured { .. }));
+    assert_eq!(core.health().state(), HealthState::Ok);
+    assert_eq!(core.health().drift_alarms(), 0);
+}
+
+#[test]
+fn health_transitions_are_chunking_invariant() {
+    // The monitor consumes the resolved prediction stream and nothing
+    // else, so any chunking of the same stream — one shot, tiny chunks,
+    // uneven chunks — yields identical transitions and identical JSON.
+    let insts = probe_insts();
+    let (core_a, events_a) = run_core(&insts, insts.len());
+    for per_chunk in [1, 97, 4_096] {
+        let (core_b, events_b) = run_core(&insts, per_chunk);
+        assert_eq!(events_a, events_b, "chunk size {per_chunk}");
+        assert_eq!(
+            core_a.health_json().to_json(),
+            core_b.health_json().to_json(),
+            "chunk size {per_chunk}"
+        );
+    }
+}
+
+fn sock_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gdiff-health-{}-{name}.sock", std::process::id()))
+}
+
+fn start(name: &str) -> ServerHandle {
+    Server::bind(&sock_path(name), ServeConfig::default())
+        .expect("bind")
+        .spawn()
+}
+
+fn connect(h: &ServerHandle) -> (UnixStream, UnixStream) {
+    for _ in 0..100 {
+        if let Ok(pair) = client::connect(h.path()) {
+            return pair;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    panic!("could not connect to {}", h.path().display());
+}
+
+#[test]
+fn health_frame_is_negotiated_and_served() {
+    let h = start("frame");
+
+    // In-session: WELCOME advertises the feature; HEALTH_REQ answers
+    // with this session's monitor, warming before any chunks.
+    let (mut r, mut w) = connect(&h);
+    frame::write_json(&mut w, frame::HELLO, &params("probe").to_hello()).unwrap();
+    let welcome = frame::read_frame(&mut r).unwrap();
+    assert_eq!(welcome.ftype, frame::WELCOME);
+    let v = frame::json_payload(&welcome).unwrap();
+    let features = v
+        .path("features")
+        .and_then(|f| f.as_arr())
+        .expect("features");
+    assert!(
+        features.iter().any(|f| f.as_str() == Some("health")),
+        "WELCOME must advertise health: {}",
+        v.to_json()
+    );
+    frame::write_frame(&mut w, frame::HEALTH_REQ, &[]).unwrap();
+    let reply = frame::read_frame(&mut r).unwrap();
+    assert_eq!(reply.ftype, frame::HEALTH);
+    let health = frame::json_payload(&reply).unwrap();
+    assert_eq!(
+        health.path("session").and_then(|s| s.as_str()),
+        Some("probe")
+    );
+    assert_eq!(
+        health.path("state").and_then(|s| s.as_str()),
+        Some("warming")
+    );
+
+    // Stream the whole two-phase probe, then ask again mid-session.
+    let insts = probe_insts();
+    for (seq, chunk) in insts.chunks(1_000).enumerate() {
+        let payload = frame::chunk_payload(seq as u64, &encode_wire_chunk(chunk, 0));
+        frame::write_frame(&mut w, frame::CHUNK, &payload).unwrap();
+        let ack = frame::read_frame(&mut r).unwrap();
+        assert_eq!(ack.ftype, frame::ACK);
+    }
+    frame::write_frame(&mut w, frame::HEALTH_REQ, &[]).unwrap();
+    let reply = frame::read_frame(&mut r).unwrap();
+    let health = frame::json_payload(&reply).unwrap();
+    assert_eq!(
+        health.path("state").and_then(|s| s.as_str()),
+        Some("drifting"),
+        "{}",
+        health.to_json()
+    );
+    frame::write_frame(&mut w, frame::BYE, &[]).unwrap();
+    let report = frame::read_frame(&mut r).unwrap();
+    assert_eq!(report.ftype, frame::REPORT);
+
+    // Control connection: the overview remembers the finished session.
+    let (mut r, mut w) = connect(&h);
+    let overview = client::fetch_health(&mut r, &mut w).expect("overview");
+    let sessions = overview
+        .path("sessions")
+        .and_then(|s| s.as_arr())
+        .expect("sessions array");
+    let probe = sessions
+        .iter()
+        .find(|s| s.path("session").and_then(|n| n.as_str()) == Some("probe"))
+        .expect("probe session remembered");
+    assert_eq!(
+        probe.path("state").and_then(|s| s.as_str()),
+        Some("drifting")
+    );
+    assert!(probe.path("drift_alarms").and_then(|a| a.as_f64()).unwrap() >= 1.0);
+
+    h.request_shutdown();
+    h.join();
+}

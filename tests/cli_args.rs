@@ -170,3 +170,63 @@ fn attached_jobs_flag_parses() {
     );
     assert!(String::from_utf8_lossy(&out.stdout).contains("Figure 1"));
 }
+
+#[test]
+fn journal_flags_are_validated() {
+    // --log / --log-level exist on run, replay, and serve; each rejects a
+    // missing path and an unknown level the same way.
+    assert_usage_error(&["fig1", "--log"], "--log needs a value");
+    assert_usage_error(&["fig1", "--log-level", "loud"], "unknown level 'loud'");
+    assert_usage_error(&["replay", "x.bin", "--log"], "--log needs a value");
+    assert_usage_error(
+        &["serve", "--stdio", "--log-level", "loud"],
+        "unknown level 'loud'",
+    );
+}
+
+#[test]
+fn logs_args_are_validated() {
+    assert_usage_error(&["logs"], "logs needs a journal file");
+    assert_usage_error(
+        &["logs", "j.bin", "--level", "loud"],
+        "unknown level 'loud'",
+    );
+    assert_usage_error(&["logs", "j.bin", "-q"], "unknown logs option: -q");
+}
+
+#[test]
+fn drift_probe_and_corruption_flags_are_validated() {
+    // Corruption mutates an outgoing stream; without one there is nothing
+    // to corrupt, and the probe is itself a stream mode.
+    assert_usage_error(
+        &[
+            "serve-client",
+            "--socket",
+            "/tmp/x.sock",
+            "--corrupt-chunk",
+            "1",
+        ],
+        "needs a stream to corrupt",
+    );
+    assert_usage_error(
+        &[
+            "serve-client",
+            "--socket",
+            "/tmp/x.sock",
+            "--corrupt-chunk",
+            "no",
+        ],
+        "invalid value 'no'",
+    );
+    assert_usage_error(
+        &[
+            "serve-client",
+            "--socket",
+            "/tmp/x.sock",
+            "--drift-probe",
+            "--stream",
+            "gcc",
+        ],
+        "mutually exclusive",
+    );
+}

@@ -223,3 +223,125 @@ fn bench_diff_gates_on_threshold() {
     std::fs::remove_file(&a).ok();
     std::fs::remove_file(&b).ok();
 }
+
+#[test]
+fn journal_leaves_deterministic_outputs_untouched() {
+    // The journal is a live-only tap: running with --log at the chattiest
+    // level must not move a single byte of the deterministic surface, and
+    // the journal itself must be a valid file `harness logs` can read.
+    let run_once = |log: Option<&PathBuf>, tag: &str| -> Run {
+        let json = tmp_path(&format!("jrnl-{tag}.json"));
+        let mut cmd = harness();
+        cmd.args(["fig9", "--scale", "0.05", "--seed", "7", "-j2", "--json"]);
+        cmd.arg(&json);
+        if let Some(path) = log {
+            cmd.arg("--log").arg(path);
+            cmd.args(["--log-level", "debug"]);
+        }
+        let out = cmd.output().expect("harness runs");
+        assert!(
+            out.status.success(),
+            "run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let report = std::fs::read_to_string(&json).expect("report written");
+        std::fs::remove_file(&json).ok();
+        let parsed = JsonValue::parse(&report).expect("report parses");
+        Run {
+            stdout: out.stdout,
+            experiments: parsed.get("experiments").expect("experiments").to_json(),
+        }
+    };
+
+    let journal = tmp_path("jrnl.journal");
+    let plain = run_once(None, "off");
+    let logged = run_once(Some(&journal), "on");
+    assert_eq!(
+        logged.stdout, plain.stdout,
+        "stdout tables must be byte-identical with --log on"
+    );
+    assert_eq!(
+        logged.experiments, plain.experiments,
+        "experiments section must be identical with --log on"
+    );
+
+    // The journal bookends the run and `harness logs` replays it.
+    let out = harness()
+        .arg("logs")
+        .arg(&journal)
+        .output()
+        .expect("logs runs");
+    assert!(
+        out.status.success(),
+        "logs failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("run started"), "{text}");
+    assert!(text.contains("run finished"), "{text}");
+    assert!(text.contains("experiment finished"), "{text}");
+
+    // --target filtering narrows to the run lifecycle records only.
+    let out = harness()
+        .arg("logs")
+        .arg(&journal)
+        .args(["--target", "harness.run", "--json"])
+        .output()
+        .expect("logs runs");
+    assert!(out.status.success());
+    for line in String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter(|l| l.starts_with('{'))
+    {
+        let rec = JsonValue::parse(line).expect("each record is JSON");
+        let target = rec.get("target").and_then(|t| t.as_str()).unwrap();
+        assert!(target.starts_with("harness.run"), "{line}");
+    }
+    std::fs::remove_file(&journal).ok();
+}
+
+#[test]
+fn replay_is_byte_identical_with_journal_on() {
+    // Record once, replay twice — with and without a journal — and demand
+    // identical replay output. The capture-determinism contract must not
+    // bend when diagnostics are on.
+    let trace = tmp_path("jrnl-replay.bin");
+    let rec = harness()
+        .args(["record", "fig9", "--scale", "0.03", "--seed", "11", "--out"])
+        .arg(&trace)
+        .output()
+        .expect("record runs");
+    assert!(
+        rec.status.success(),
+        "record failed: {}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
+
+    let plain = harness()
+        .arg("replay")
+        .arg(&trace)
+        .output()
+        .expect("replay");
+    assert!(plain.status.success());
+    let journal = tmp_path("jrnl-replay.journal");
+    let logged = harness()
+        .arg("replay")
+        .arg(&trace)
+        .arg("--log")
+        .arg(&journal)
+        .args(["--log-level", "debug"])
+        .output()
+        .expect("replay with log");
+    assert!(
+        logged.status.success(),
+        "replay --log failed: {}",
+        String::from_utf8_lossy(&logged.stderr)
+    );
+    assert_eq!(
+        logged.stdout, plain.stdout,
+        "replay stdout must be byte-identical with --log on"
+    );
+    assert!(journal.exists(), "journal written");
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&journal).ok();
+}
