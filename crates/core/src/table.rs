@@ -411,6 +411,14 @@ impl GDiffCore {
         self.table.accesses()
     }
 
+    /// Total aliasing conflicts observed at the prediction table — the
+    /// exact integer count behind [`GDiffCore::conflict_rate`], exported
+    /// so sweep checkpoints can store counts and derive rates at render
+    /// time (f64 rates don't round-trip bit-exactly through JSON).
+    pub fn table_conflicts(&self) -> u64 {
+        self.table.conflicts()
+    }
+
     /// Memory-layout facts of the prediction table (probe-array length,
     /// occupancy, resident bytes) for the table-geometry gauges.
     pub fn geometry(&self) -> TableGeometry {

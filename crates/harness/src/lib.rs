@@ -33,6 +33,7 @@ pub mod addr;
 pub mod benchdiff;
 pub mod cells;
 pub mod explain;
+pub mod grid;
 pub mod hotpath;
 pub mod pipe;
 pub mod profile;
@@ -41,10 +42,12 @@ pub mod render;
 pub mod report;
 pub mod sched;
 pub mod serve_cli;
+pub mod sweep;
 
 pub use addr::{fig18, fig18_bench, fig18_on, Fig18Row};
 pub use benchdiff::{diff_reports, DiffReport, DiffRow, DEFAULT_THRESHOLD_PCT};
 pub use explain::{explain_cell, explain_plan, ExplainCell, EXPLAIN_EXPERIMENTS};
+pub use grid::{GridCell, GridSpec};
 pub use hotpath::{hotpath_json, hotpath_text, measure_hotpath, HotpathPoint, HOTPATH_ORDERS};
 pub use pipe::{
     ablate_confidence, ablate_confidence_on, ablate_confidence_point, ablate_confidence_thresholds,
@@ -60,7 +63,14 @@ pub use profile::{
     Fig9Row, QueueRow,
 };
 pub use record::{open_replay, record, RecordReport, ReplayError, ReplayPlan};
-pub use sched::{default_jobs, run_plans, run_plans_live, Cell, ExperimentOutput, ExperimentPlan};
+pub use sched::{
+    default_jobs, run_dynamic, run_plans, run_plans_live, Cell, DynDone, ExperimentOutput,
+    ExperimentPlan,
+};
+pub use sweep::{
+    load_completed, pareto_frontier, prepare_dir, render_dry_run, render_sweep, run_sweep_worker,
+    sweep_parent, CellCounts, SWEEP_SCHEMA,
+};
 
 /// Run-size parameters shared by all experiments.
 ///

@@ -222,6 +222,14 @@ fn main() {
             args.remove(0);
             main_logs(args)
         }
+        Some("sweep") => {
+            args.remove(0);
+            main_sweep(args)
+        }
+        Some("sweep-worker") => {
+            args.remove(0);
+            main_sweep_worker(args)
+        }
         _ => main_run(args),
     }
 }
@@ -1112,6 +1120,287 @@ fn main_logs(args: Vec<String>) {
     eprintln!("{file}: {shown} of {} records shown", outcome.records.len());
 }
 
+/// `sweep --grid SPEC|@FILE --ckpt DIR [--workers N] [--jobs N] ...`:
+/// expand a declarative parameter grid and run every cell across worker
+/// processes, checkpointing each finished cell so an interrupted sweep
+/// resumes where it left off. The merged report is byte-identical for
+/// every worker/thread count and any interrupt/resume split.
+fn main_sweep(args: Vec<String>) {
+    let mut grid_arg: Option<String> = None;
+    let mut ckpt: Option<String> = None;
+    let mut workers: usize = 1;
+    let mut jobs: Option<usize> = None;
+    let mut pareto = false;
+    let mut dry_run = false;
+    let mut fresh = false;
+    let mut out: Option<String> = None;
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
+    let mut log: Option<String> = None;
+    let mut log_level = obs::log::Level::Info;
+    let mut live_metrics: Option<String> = None;
+    let mut live_interval_ms = 250u64;
+    let mut timeline: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--grid" => {
+                grid_arg = Some(match it.next() {
+                    Some(v) => v,
+                    None => usage_error("--grid needs a value (a spec or @FILE)"),
+                })
+            }
+            "--ckpt" => {
+                ckpt = Some(match it.next() {
+                    Some(v) => v,
+                    None => usage_error("--ckpt needs a value (a directory)"),
+                })
+            }
+            "--workers" => match parse_jobs(&a, it.next()) {
+                Ok(v) => workers = v,
+                Err(m) => usage_error(&m),
+            },
+            "--jobs" => match parse_jobs(&a, it.next()) {
+                Ok(v) => jobs = Some(v),
+                Err(m) => usage_error(&m),
+            },
+            "--pareto" => pareto = true,
+            "--dry-run" => dry_run = true,
+            "--fresh" => fresh = true,
+            "--out" => {
+                out = Some(match it.next() {
+                    Some(v) => v,
+                    None => usage_error("--out needs a value (a path or -)"),
+                })
+            }
+            "--scale" => match parse_value(&a, it.next()) {
+                Ok(v) => scale = v,
+                Err(m) => usage_error(&m),
+            },
+            "--seed" => match parse_value(&a, it.next()) {
+                Ok(v) => seed = v,
+                Err(m) => usage_error(&m),
+            },
+            "--log" => {
+                log = Some(match it.next() {
+                    Some(v) => v,
+                    None => usage_error("--log needs a value (a path)"),
+                })
+            }
+            "--log-level" => match parse_level(&a, it.next()) {
+                Ok(v) => log_level = v,
+                Err(m) => usage_error(&m),
+            },
+            "--live-metrics" => {
+                live_metrics = Some(match it.next() {
+                    Some(v) => v,
+                    None => usage_error("--live-metrics needs a value (a path or -)"),
+                })
+            }
+            "--live-interval-ms" => match parse_value(&a, it.next()) {
+                Ok(v) => live_interval_ms = v,
+                Err(m) => usage_error(&m),
+            },
+            "--timeline" => {
+                timeline = Some(match it.next() {
+                    Some(v) => v,
+                    None => usage_error("--timeline needs a value (a path)"),
+                })
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => usage_error(&format!("unknown sweep option: {other}")),
+        }
+    }
+    let Some(grid_arg) = grid_arg else {
+        usage_error("sweep needs --grid");
+    };
+    if dry_run && fresh {
+        usage_error("--dry-run and --fresh are mutually exclusive");
+    }
+    let spec_text = if let Some(path) = grid_arg.strip_prefix('@') {
+        match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read grid file {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        grid_arg
+    };
+    let mut base = RunParams::profile_default().scaled(scale);
+    base.seed = seed;
+    let grid = match harness::GridSpec::parse(&spec_text, base) {
+        Ok(g) => g,
+        Err(m) => usage_error(&m),
+    };
+    if dry_run {
+        print!("{}", harness::render_dry_run(&grid));
+        return;
+    }
+    let Some(ckpt) = ckpt else {
+        usage_error("sweep needs --ckpt (or --dry-run)");
+    };
+    if out.as_deref() == Some("-") || live_metrics.as_deref() == Some("-") {
+        TABLES_TO_STDERR.store(true, Ordering::Relaxed);
+    }
+
+    let journal =
+        match serve_cli::enable_journal(log.as_deref().map(std::path::Path::new), log_level) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+    if timeline.is_some() {
+        obs::timeline::enable(TIMELINE_CAPACITY);
+        obs::timeline::set_thread_name("main");
+    }
+    let live = live_metrics.as_ref().map(|_| SharedRegistry::new());
+    let sampler = live_metrics.as_ref().map(|dest| {
+        let writer: Box<dyn std::io::Write + Send> = if dest == "-" {
+            Box::new(std::io::stdout())
+        } else {
+            match std::fs::File::create(dest) {
+                Ok(f) => Box::new(f),
+                Err(e) => {
+                    eprintln!("error: cannot write {dest}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        Sampler::start(
+            live.clone().expect("live registry exists"),
+            Duration::from_millis(live_interval_ms),
+            LIVE_RING_CAP,
+            Some(writer),
+        )
+    });
+    obs::log::info(
+        "harness.sweep",
+        "sweep started",
+        &[
+            ("cells", obs::log::Value::from(grid.cell_count())),
+            ("workers", obs::log::Value::from(workers)),
+            ("seed", obs::log::Value::from(seed)),
+        ],
+    );
+
+    let dir = std::path::Path::new(&ckpt);
+    if let Err(e) = harness::prepare_dir(dir, &grid, fresh) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    // Each worker process gets an even share of the machine unless --jobs
+    // pins its thread count explicitly.
+    let jobs = jobs.unwrap_or_else(|| (default_jobs() / workers).max(1));
+    let completed = match harness::sweep_parent(dir, &grid, workers, jobs, live.as_ref()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let (text, report) = harness::render_sweep(&grid, &completed, pareto, scale);
+    out!("{}", text);
+    if let Some(dest) = &out {
+        let text = report.to_json_pretty();
+        if dest == "-" {
+            println!("{text}");
+        } else if let Err(e) = std::fs::write(dest, text + "\n") {
+            eprintln!("error: cannot write {dest}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(dest) = &timeline {
+        obs::timeline::disable();
+        let text = obs::timeline::export().to_json();
+        if let Err(e) = std::fs::write(dest, text + "\n") {
+            eprintln!("error: cannot write {dest}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "timeline: {} events ({} dropped) -> {dest}",
+            obs::timeline::recorded(),
+            obs::timeline::dropped(),
+        );
+    }
+    if let Some(sampler) = sampler {
+        let log = sampler.stop();
+        if !log.stream_ok {
+            eprintln!("warning: live-metrics stream write failed");
+        }
+        eprintln!(
+            "live-metrics: {} snapshots ({} beyond the ring)",
+            log.taken, log.dropped
+        );
+    }
+    obs::log::info(
+        "harness.sweep",
+        "sweep finished",
+        &[("cells", obs::log::Value::from(completed.len()))],
+    );
+    if let Some(path) = journal {
+        let records = obs::log::recorded();
+        let write_errors = obs::log::disable();
+        eprintln!("journal: {records} records -> {}", path.display());
+        if write_errors > 0 {
+            eprintln!(
+                "warning: journal {}: {write_errors} write errors",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Hidden child-process entry point: `sweep-worker --ckpt DIR --worker K
+/// --workers W --jobs J`. Spawned by `sweep`; everything it needs is in
+/// the checkpoint directory. Exits when its parent dies (stdin EOF).
+fn main_sweep_worker(args: Vec<String>) {
+    let mut ckpt: Option<String> = None;
+    let mut worker: Option<u32> = None;
+    let mut workers: Option<u32> = None;
+    let mut jobs = 1usize;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ckpt" => {
+                ckpt = Some(match it.next() {
+                    Some(v) => v,
+                    None => usage_error("--ckpt needs a value (a directory)"),
+                })
+            }
+            "--worker" => match parse_value(&a, it.next()) {
+                Ok(v) => worker = Some(v),
+                Err(m) => usage_error(&m),
+            },
+            "--workers" => match parse_value(&a, it.next()) {
+                Ok(v) => workers = Some(v),
+                Err(m) => usage_error(&m),
+            },
+            "--jobs" => match parse_jobs(&a, it.next()) {
+                Ok(v) => jobs = v,
+                Err(m) => usage_error(&m),
+            },
+            other => usage_error(&format!("unknown sweep-worker option: {other}")),
+        }
+    }
+    let (Some(ckpt), Some(worker), Some(workers)) = (ckpt, worker, workers) else {
+        usage_error("sweep-worker needs --ckpt, --worker, and --workers");
+    };
+    harness::sweep::spawn_orphan_watchdog();
+    if let Err(e) = harness::run_sweep_worker(std::path::Path::new(&ckpt), worker, workers, jobs) {
+        eprintln!("error: sweep worker {worker}: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn print_usage() {
     eprintln!(
         "usage: harness [--scale F] [--seed N] [--jobs N|-jN] [--json PATH|-]\n\
@@ -1136,6 +1425,10 @@ fn print_usage() {
          \x20              [--scale F] [--seed N] [--corrupt-chunk N]\n\
          \x20              [--status] [--metrics] [--health] [--shutdown]\n\
          \x20      harness logs FILE [--level L] [--target PREFIX] [--follow] [--json]\n\
+         \x20      harness sweep --grid SPEC|@FILE (--ckpt DIR | --dry-run)\n\
+         \x20              [--workers N] [--jobs N] [--pareto] [--out PATH|-]\n\
+         \x20              [--fresh] [--scale F] [--seed N] [--log PATH] [--log-level L]\n\
+         \x20              [--live-metrics PATH|-] [--live-interval-ms N] [--timeline PATH]\n\
          experiments: fig1 fig8 fig9 fig10 fig12 fig13 fig16 fig18a fig18b\n\
          table2 fig19 ablate-queue ablate-filler ablate-confidence\n\
          ablate-depth prefetch limit all\n\
@@ -1180,6 +1473,19 @@ fn print_usage() {
          changing any deterministic output; --log-level gates it\n\
          (debug|info|warn|error, default info);\n\
          logs pretty-prints a journal (--json: one JSON object per\n\
-         record; --follow: keep polling, surviving rotation)"
+         record; --follow: keep polling, surviving rotation);\n\
+         sweep expands a declarative parameter grid (clauses like\n\
+         'order=4,8;depth=1024,8192;threshold=0,4;delay=0,2;bench=all')\n\
+         into one cell per (config x benchmark) and runs them across\n\
+         --workers processes, each on --jobs threads, coordinating\n\
+         through atomic cell claims in the --ckpt directory with\n\
+         work stealing from stragglers' shard tails; every finished\n\
+         cell is checkpointed (CRC-framed), so a killed sweep re-run\n\
+         with the same --ckpt resumes, skipping completed cells; the\n\
+         merged tables/report are byte-identical for every worker and\n\
+         thread count and any interrupt/resume split; --pareto adds the\n\
+         (gated accuracy x coverage vs table bits) frontier; --dry-run\n\
+         prints the expansion without running; --fresh discards\n\
+         checkpoints from a previous grid"
     );
 }

@@ -8,7 +8,9 @@
 
 use gdiff::GDiffPredictor;
 use obs::Registry;
-use predictors::{Capacity, DfcmPredictor, PredictorStats, StridePredictor, ValuePredictor};
+use predictors::{
+    Capacity, ConfidenceTable, DfcmPredictor, PredictorStats, StridePredictor, ValuePredictor,
+};
 use workloads::{Benchmark, DynInst, SyntheticSource, TraceSource};
 
 use crate::RunParams;
@@ -37,6 +39,40 @@ pub fn run_profile_on<P: ValuePredictor>(
         let predicted = predictor.predict(inst.pc);
         if (n as u64) >= params.warmup {
             stats.record(predicted, false, inst.value);
+        }
+        predictor.update(inst.pc, inst.value);
+    }
+    stats
+}
+
+/// [`run_profile_on`] with confidence gating: the sweep engine's cell
+/// body. The predictor is queried every producer; when a confidence
+/// table is supplied, a prediction only counts as *used* (confident)
+/// when the saturating counter clears its threshold, and the counter
+/// trains on every resolved prediction. With `conf = None` the run is
+/// ungated and "confident" means "the predictor ventured a prediction",
+/// so coverage stays meaningful across both modes.
+pub fn run_profile_gated(
+    source: &dyn TraceSource,
+    bench: Benchmark,
+    predictor: &mut GDiffPredictor,
+    mut conf: Option<&mut ConfidenceTable>,
+    params: RunParams,
+) -> PredictorStats {
+    let _span = obs::span::span("profile.run");
+    let mut stats = PredictorStats::new();
+    for (n, inst) in value_stream_on(source, bench, params).enumerate() {
+        let predicted = predictor.predict(inst.pc);
+        let confident = match (&predicted, conf.as_deref_mut()) {
+            (Some(_), Some(c)) => c.is_confident(inst.pc),
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if (n as u64) >= params.warmup {
+            stats.record(predicted, confident, inst.value);
+        }
+        if let (Some(p), Some(c)) = (predicted, conf.as_deref_mut()) {
+            c.train(inst.pc, p == inst.value);
         }
         predictor.update(inst.pc, inst.value);
     }

@@ -127,6 +127,11 @@ struct DoneCell {
     out: CellOutput,
     registry: Registry,
     busy: Duration,
+    /// Index of the worker thread that *executed* the cell. Under work
+    /// stealing the executor is not the planned owner; wall-time
+    /// attribution (`sched.worker.<w>.cell_ms`, timeline tracks) must
+    /// follow the executor or per-worker load views lie.
+    worker: usize,
 }
 
 /// In-order completion tracker: buffers per-cell results and releases
@@ -250,7 +255,7 @@ pub fn run_plans_live<'a>(
 
     if workers <= 1 {
         while let Some((ei, ci, label, run)) = queue.pop_front() {
-            let done = run_cell(label, run);
+            let done = run_cell(0, label, run);
             if let Some(live) = live {
                 publish_live(live, &done);
             }
@@ -272,7 +277,7 @@ pub fn run_plans_live<'a>(
                     let Some((ei, ci, label, run)) = job else {
                         break;
                     };
-                    let done = run_cell(label, run);
+                    let done = run_cell(w, label, run);
                     if let Some(live) = live {
                         publish_live(live, &done);
                     }
@@ -292,13 +297,122 @@ pub fn run_plans_live<'a>(
     total_cells
 }
 
+/// One finished dynamically-claimed cell, handed back in completion order.
+pub struct DynDone {
+    /// The id the claim source assigned (a grid cell id for sweeps).
+    pub id: u64,
+    /// Cell label.
+    pub label: String,
+    /// The cell's type-erased return value.
+    pub out: CellOutput,
+    /// The cell's private registry (counters/gauges/histograms it set).
+    pub registry: Registry,
+    /// Wall time on the executing thread.
+    pub busy: Duration,
+    /// Index of the thread that executed the cell.
+    pub worker: usize,
+}
+
+impl std::fmt::Debug for DynDone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynDone")
+            .field("id", &self.id)
+            .field("label", &self.label)
+            .field("worker", &self.worker)
+            .finish()
+    }
+}
+
+/// Runs dynamically-claimed cells on up to `jobs` threads until the claim
+/// source is exhausted.
+///
+/// Unlike [`run_plans`], the work list is not known up front: each idle
+/// thread calls `next(thread_index)` — under a lock, so claim sources may
+/// touch shared state freely — and executes whatever cell comes back.
+/// This is the in-process half of the sweep engine's work-stealing: the
+/// claim source hands out disk-claimed grid cells, and a `None` means the
+/// whole sweep (not just this process's shard) is drained.
+///
+/// `on_done` runs on the calling thread in completion order. Callers that
+/// need deterministic output must NOT derive it from that order — sweep
+/// checkpoints are order-free (keyed by cell id) precisely so the final
+/// merge can re-impose grid order.
+///
+/// Returns the number of cells executed.
+pub fn run_dynamic<'a>(
+    next: impl FnMut(usize) -> Option<(u64, Cell<'a>)> + Send,
+    jobs: usize,
+    live: Option<&SharedRegistry>,
+    mut on_done: impl FnMut(DynDone),
+) -> usize {
+    let threads = jobs.max(1);
+    let next = Mutex::new(next);
+    if threads == 1 {
+        let mut count = 0;
+        loop {
+            let job = (next.lock().unwrap())(0);
+            let Some((id, cell)) = job else { break };
+            let done = run_cell(0, cell.label, cell.run);
+            if let Some(live) = live {
+                publish_live(live, &done);
+            }
+            on_done(to_dyn(id, done));
+            count += 1;
+        }
+        return count;
+    }
+
+    let (tx, rx) = mpsc::channel::<(u64, DoneCell)>();
+    let mut count = 0;
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            s.spawn(move || {
+                obs::timeline::set_thread_name(&format!("worker-{w}"));
+                loop {
+                    let job = (next.lock().unwrap())(w);
+                    let Some((id, cell)) = job else { break };
+                    let done = run_cell(w, cell.label, cell.run);
+                    if let Some(live) = live {
+                        publish_live(live, &done);
+                    }
+                    if tx.send((id, done)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (id, done) in rx {
+            on_done(to_dyn(id, done));
+            count += 1;
+        }
+    });
+    count
+}
+
+fn to_dyn(id: u64, done: DoneCell) -> DynDone {
+    DynDone {
+        id,
+        label: done.label,
+        out: done.out,
+        registry: done.registry,
+        busy: done.busy,
+        worker: done.worker,
+    }
+}
+
 /// Bucket count of the live `sched.cell_ms` wall-time histogram.
 const CELL_MS_BUCKETS: usize = 512;
 
-/// Feeds one finished cell into the live-telemetry registry.
+/// Feeds one finished cell into the live-telemetry registry. Wall time is
+/// attributed to the *executing* worker (`sched.worker.<w>.cell_ms`) —
+/// for a stolen cell that is the stealer, never the planned owner.
 fn publish_live(live: &SharedRegistry, done: &DoneCell) {
     live.merge(&done.registry);
     let ms = done.busy.as_millis() as u64;
+    let worker = done.worker;
     live.with(|r| {
         let h = r.histogram("sched.cell_ms", CELL_MS_BUCKETS);
         r.observe(h, ms);
@@ -306,15 +420,21 @@ fn publish_live(live: &SharedRegistry, done: &DoneCell) {
         if ms as f64 > r.gauge_value(g) {
             r.set_gauge(g, ms as f64);
         }
+        let h = r.histogram(&format!("sched.worker.{worker}.cell_ms"), CELL_MS_BUCKETS);
+        r.observe(h, ms);
+        let c = r.counter(&format!("sched.worker.{worker}.cells"));
+        r.inc(c);
     });
 }
 
-fn run_cell(label: String, run: CellFn<'_>) -> DoneCell {
+fn run_cell(worker: usize, label: String, run: CellFn<'_>) -> DoneCell {
     let mut registry = Registry::new();
     let cells = registry.counter("sched.cells");
     registry.inc(cells);
     let per_cell = registry.counter(&format!("sched.cell.{label}"));
     registry.inc(per_cell);
+    // The timeline span opens on the executing thread, so the Chrome
+    // trace track is the executor's even when the cell was stolen.
     let _tl = if obs::timeline::enabled() {
         Some(obs::timeline::start(&format!("cell.{label}"), "cell"))
     } else {
@@ -327,6 +447,7 @@ fn run_cell(label: String, run: CellFn<'_>) -> DoneCell {
         out,
         registry,
         busy: t0.elapsed(),
+        worker,
     }
 }
 
@@ -438,6 +559,49 @@ mod tests {
         let h = snap.histogram_by_name("sched.cell_ms").expect("cell_ms");
         assert_eq!(h.total(), 9);
         assert!(snap.gauge_by_name("sched.cell_ms.max").unwrap() >= 20.0);
+    }
+
+    #[test]
+    fn dynamic_scheduler_drains_claim_source_at_any_thread_count() {
+        for jobs in [1, 4] {
+            let mut ids = (0..37u64).collect::<VecDeque<_>>();
+            let live = SharedRegistry::new();
+            let mut seen = Vec::new();
+            let mut total = 0u64;
+            let ran = run_dynamic(
+                move |_w| {
+                    let id = ids.pop_front()?;
+                    Some((
+                        id,
+                        Cell::new(format!("dyn/{id}"), move |reg: &mut Registry| {
+                            let c = reg.counter("dyn.sum");
+                            reg.add(c, id);
+                            id * 2
+                        }),
+                    ))
+                },
+                jobs,
+                Some(&live),
+                |done| {
+                    let v = *done.out.downcast::<u64>().unwrap();
+                    assert_eq!(v, done.id * 2);
+                    assert!(done.worker < jobs.max(1));
+                    total += done.registry.counter_by_name("dyn.sum").unwrap();
+                    seen.push(done.id);
+                },
+            );
+            assert_eq!(ran, 37, "jobs={jobs}");
+            assert_eq!(total, (0..37).sum::<u64>());
+            seen.sort_unstable();
+            assert_eq!(seen, (0..37).collect::<Vec<_>>());
+            // Executor attribution: every executed cell landed in some
+            // per-worker wall-time histogram.
+            let snap = live.snapshot();
+            let attributed: u64 = (0..jobs.max(1))
+                .filter_map(|w| snap.counter_by_name(&format!("sched.worker.{w}.cells")))
+                .sum();
+            assert_eq!(attributed, 37);
+        }
     }
 
     #[test]

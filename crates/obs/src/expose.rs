@@ -14,6 +14,10 @@
 //!   counters as `serve_session_<metric>_total{session="<name>"}`, gauges
 //!   as `serve_session_<metric>{session="<name>"}` (session names are
 //!   `[A-Za-z0-9_-]`, so the final dot always splits name from metric);
+//! * the sweep engine's series fold too: `sched.worker.<w>.cells` →
+//!   `sched_worker_cells_total{worker="<w>"}`, the `sweep.cells.<state>`
+//!   progress gauges → `sweep_cells_total{state="done|claimed|pending"}`,
+//!   and `sweep.worker.<k>.cells` → `sweep_worker_cells{worker="<k>"}`;
 //! * histograms render as Prometheus summaries: `{quantile="0.5|0.9|0.99"}`
 //!   series plus `_sum` and `_count`;
 //! * wall-time spans render as the `span_seconds` summary family labeled
@@ -50,6 +54,19 @@ pub fn sanitize(name: &str) -> String {
 /// boundary; a remainder without a dot is not a per-session series.
 fn split_session_series(name: &str) -> Option<(&str, &str)> {
     name.strip_prefix("serve.session.")?.rsplit_once('.')
+}
+
+/// Extracts the worker index from a `<prefix><k>.cells` per-worker series
+/// (`sched.worker.3.cells`, `sweep.worker.0.cells`).
+fn split_worker_cells<'a>(name: &'a str, prefix: &str) -> Option<&'a str> {
+    let (worker, metric) = name.strip_prefix(prefix)?.split_once('.')?;
+    (metric == "cells" && worker.bytes().all(|b| b.is_ascii_digit())).then_some(worker)
+}
+
+/// Extracts the state from a `sweep.cells.<state>` progress gauge.
+fn split_sweep_state(name: &str) -> Option<&str> {
+    name.strip_prefix("sweep.cells.")
+        .filter(|rest| !rest.contains('.'))
 }
 
 /// Escapes a label value (backslash, quote, newline).
@@ -98,9 +115,11 @@ fn render_families(mut families: Vec<Family>) -> String {
 pub fn prometheus(reg: &Registry, spans: &[(String, SpanStats)]) -> String {
     let mut families: Vec<Family> = Vec::new();
 
-    // Per-cell scheduler counters and per-session serve series fold into
-    // labeled families; everything else is a flat series.
+    // Per-cell scheduler counters, per-worker counters, and per-session
+    // serve series fold into labeled families; everything else is a flat
+    // series.
     let mut cell_runs: Vec<(String, String)> = Vec::new();
+    let mut worker_cells: Vec<(String, String)> = Vec::new();
     let mut session_counters: std::collections::BTreeMap<String, Vec<(String, String)>> =
         std::collections::BTreeMap::new();
     for (name, v) in reg.counters_iter() {
@@ -109,6 +128,10 @@ pub fn prometheus(reg: &Registry, spans: &[(String, SpanStats)]) -> String {
                 format!("{{cell=\"{}\"}}", escape_label(label)),
                 v.to_string(),
             ));
+            continue;
+        }
+        if let Some(worker) = split_worker_cells(name, "sched.worker.") {
+            worker_cells.push((format!("{{worker=\"{worker}\"}}"), v.to_string()));
             continue;
         }
         if let Some((session, metric)) = split_session_series(name) {
@@ -136,6 +159,14 @@ pub fn prometheus(reg: &Registry, spans: &[(String, SpanStats)]) -> String {
             samples: cell_runs,
         });
     }
+    if !worker_cells.is_empty() {
+        families.push(Family {
+            name: "sched_worker_cells_total".to_string(),
+            kind: "counter",
+            help: "cells executed per scheduler worker thread".to_string(),
+            samples: worker_cells,
+        });
+    }
     for (metric, samples) in session_counters {
         families.push(Family {
             name: format!("serve_session_{}_total", sanitize(&metric)),
@@ -147,12 +178,22 @@ pub fn prometheus(reg: &Registry, spans: &[(String, SpanStats)]) -> String {
 
     let mut session_gauges: std::collections::BTreeMap<String, Vec<(String, String)>> =
         std::collections::BTreeMap::new();
+    let mut sweep_states: Vec<(String, String)> = Vec::new();
+    let mut sweep_workers: Vec<(String, String)> = Vec::new();
     for (name, v) in reg.gauges_iter() {
         if let Some((session, metric)) = split_session_series(name) {
             session_gauges.entry(metric.to_string()).or_default().push((
                 format!("{{session=\"{}\"}}", escape_label(session)),
                 number(v),
             ));
+            continue;
+        }
+        if let Some(state) = split_sweep_state(name) {
+            sweep_states.push((format!("{{state=\"{}\"}}", escape_label(state)), number(v)));
+            continue;
+        }
+        if let Some(worker) = split_worker_cells(name, "sweep.worker.") {
+            sweep_workers.push((format!("{{worker=\"{worker}\"}}"), number(v)));
             continue;
         }
         families.push(Family {
@@ -168,6 +209,22 @@ pub fn prometheus(reg: &Registry, spans: &[(String, SpanStats)]) -> String {
             kind: "gauge",
             help: format!("serve daemon per-session gauge {metric}"),
             samples,
+        });
+    }
+    if !sweep_states.is_empty() {
+        families.push(Family {
+            name: "sweep_cells_total".to_string(),
+            kind: "gauge",
+            help: "sweep grid cells by state (done, claimed, pending)".to_string(),
+            samples: sweep_states,
+        });
+    }
+    if !sweep_workers.is_empty() {
+        families.push(Family {
+            name: "sweep_worker_cells".to_string(),
+            kind: "gauge",
+            help: "cells checkpointed per sweep worker process".to_string(),
+            samples: sweep_workers,
         });
     }
 
@@ -312,6 +369,46 @@ mod tests {
         assert!(text.contains("sim_value_delay_count 4"));
         assert!(text.contains("span_seconds{span=\"cell.fig8/ast\",quantile=\"0.99\"}"));
         assert!(text.contains("span_seconds_count{span=\"cell.fig8/ast\"} 2"));
+    }
+
+    #[test]
+    fn sweep_series_fold_into_labeled_families() {
+        let mut r = Registry::new();
+        for (w, n) in [(0u32, 7u64), (1, 9), (12, 3)] {
+            let c = r.counter(&format!("sched.worker.{w}.cells"));
+            r.add(c, n);
+        }
+        for (state, v) in [("done", 40.0), ("claimed", 3.0), ("pending", 57.0)] {
+            let g = r.gauge(&format!("sweep.cells.{state}"));
+            r.set_gauge(g, v);
+        }
+        let g = r.gauge("sweep.worker.1.cells");
+        r.set_gauge(g, 21.0);
+        // Near-misses stay flat series: a non-numeric worker id, a metric
+        // that isn't `cells`, a deeper sweep.cells path.
+        let c = r.counter("sched.worker.oops.cells");
+        r.add(c, 1);
+        let c = r.counter("sched.worker.2.steals");
+        r.add(c, 1);
+        let g = r.gauge("sweep.cells.done.extra");
+        r.set_gauge(g, 1.0);
+
+        let text = prometheus(&r, &[]);
+        validate(&text).expect("valid exposition format");
+        assert!(
+            text.contains("sched_worker_cells_total{worker=\"0\"} 7"),
+            "{text}"
+        );
+        assert!(text.contains("sched_worker_cells_total{worker=\"12\"} 3"));
+        assert!(text.contains("sweep_cells_total{state=\"done\"} 40"));
+        assert!(text.contains("sweep_cells_total{state=\"pending\"} 57"));
+        assert!(text.contains("sweep_worker_cells{worker=\"1\"} 21"));
+        assert!(text.contains("sched_worker_oops_cells_total 1"));
+        assert!(text.contains("sched_worker_2_steals_total 1"));
+        assert!(text.contains("sweep_cells_done_extra 1"));
+        // One HELP/TYPE block per family, not per sample.
+        assert_eq!(text.matches("# TYPE sched_worker_cells_total").count(), 1);
+        assert_eq!(text.matches("# TYPE sweep_cells_total").count(), 1);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod ckpt;
 pub mod codec;
 pub mod container;
 pub mod convert;
@@ -54,6 +55,10 @@ pub mod crc32;
 mod source;
 pub mod stream;
 pub mod varint;
+
+pub use ckpt::{
+    count_ckpt_records, read_ckpt, CkptDamage, CkptError, CkptRead, CkptRecord, CkptWriter,
+};
 
 pub use container::{
     ChunkEntry, StreamInfo, TraceFileError, TraceReader, TraceWriter, VerifyReport,

@@ -230,3 +230,75 @@ fn drift_probe_and_corruption_flags_are_validated() {
         "mutually exclusive",
     );
 }
+
+#[test]
+fn sweep_args_are_validated() {
+    assert_usage_error(&["sweep"], "sweep needs --grid");
+    assert_usage_error(&["sweep", "--grid"], "--grid needs a value");
+    assert_usage_error(
+        &["sweep", "--grid", "order=4;bench=gcc"],
+        "sweep needs --ckpt",
+    );
+    assert_usage_error(
+        &[
+            "sweep",
+            "--grid",
+            "order=4",
+            "--ckpt",
+            "/tmp/x",
+            "--workers",
+            "0",
+        ],
+        "at least 1",
+    );
+    assert_usage_error(
+        &["sweep", "--grid", "order=4", "--dry-run", "--fresh"],
+        "mutually exclusive",
+    );
+    assert_usage_error(
+        &["sweep", "--grid", "order=4", "--unknown"],
+        "unknown sweep option",
+    );
+}
+
+#[test]
+fn sweep_grid_specs_are_validated() {
+    // Each rejection carries the offending clause so a thousand-cell spec
+    // fails with a pointer, not a shrug.
+    assert_usage_error(&["sweep", "--grid", "order=", "--dry-run"], "no values");
+    assert_usage_error(
+        &["sweep", "--grid", "order=four", "--dry-run"],
+        "not a number",
+    );
+    assert_usage_error(
+        &["sweep", "--grid", "order=4;order=8", "--dry-run"],
+        "given twice",
+    );
+    assert_usage_error(
+        &["sweep", "--grid", "flavor=mild", "--dry-run"],
+        "unknown grid key",
+    );
+    assert_usage_error(
+        &["sweep", "--grid", "bench=quake", "--dry-run"],
+        "unknown benchmark",
+    );
+    assert_usage_error(&["sweep", "--grid", "order=99", "--dry-run"], "order");
+    assert_usage_error(
+        &["sweep", "--grid", "order=4;measure=10", "--dry-run"],
+        "below the",
+    );
+    assert_usage_error(&["sweep", "--grid", "order 4", "--dry-run"], "key=values");
+}
+
+#[test]
+fn sweep_worker_args_are_validated() {
+    // The hidden child entry point still fails loudly when hand-invoked.
+    assert_usage_error(
+        &["sweep-worker", "--worker", "0"],
+        "sweep-worker needs --ckpt",
+    );
+    assert_usage_error(
+        &["sweep-worker", "--ckpt", "/tmp/x", "--worker", "no"],
+        "invalid value 'no'",
+    );
+}
